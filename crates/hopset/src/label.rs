@@ -1,0 +1,135 @@
+//! Bounded label sets — the `m(·)`/`L(·)` arrays of Algorithm 2.
+//!
+//! A [`Label`] is one record `⟨source cluster, distance⟩` plus the realized
+//! path bookkeeping this implementation adds:
+//!
+//! * `dist` — the hop-and-threshold-bounded distance of the paper (what
+//!   popularity, neighborhood and detection decisions read);
+//! * `pw` — the weight of the *actual* path realizing the record, including
+//!   the cluster-memory detours through centers (§4.3). Always `≥ dist`.
+//!   Practical-mode edge weights use `pw` directly (a real path weight can
+//!   never undercut a true distance — the Lemma 2.3/2.9 guarantee holds by
+//!   construction instead of by radius arithmetic);
+//! * `path` — the path itself, only in path-reporting mode.
+//!
+//! [`reduce_labels`] implements Algorithm 3 ("Sort Array"): sort by source
+//! (ties by distance), drop duplicate sources, re-sort by distance (ties by
+//! id), keep the best `x`.
+
+use crate::path::PathHandle;
+use pgraph::{VId, Weight};
+
+/// One exploration record.
+#[derive(Clone, Debug)]
+pub struct Label {
+    /// Source cluster id (= its center's vertex id, §1.5).
+    pub src: VId,
+    /// Bounded distance from the source cluster (the paper's record value).
+    pub dist: Weight,
+    /// Weight of the realized path (≥ `dist`; includes center detours).
+    pub pw: Weight,
+    /// The realized path (ends at the current holder), when recording.
+    pub path: Option<PathHandle>,
+}
+
+impl Label {
+    /// Key for duplicate elimination: group by source, best (dist, pw) first.
+    #[inline]
+    fn dedup_key(&self) -> (VId, u64, u64) {
+        (self.src, self.dist.to_bits(), self.pw.to_bits())
+    }
+
+    /// Key for final ranking: nearest source first, ties by id (Algorithm 3
+    /// line 5: "sort according to distances, break ties by IDs").
+    #[inline]
+    fn rank_key(&self) -> (u64, VId) {
+        (self.dist.to_bits(), self.src)
+    }
+}
+
+/// Algorithm 3: deduplicate by source keeping the best record, rank by
+/// `(dist, src)`, truncate to `x`. Stable and fully deterministic: ties
+/// beyond `(src, dist, pw)` resolve to the earliest candidate, and candidate
+/// order is itself deterministic (callers enumerate self-labels first, then
+/// neighbors in adjacency order).
+pub fn reduce_labels(mut cands: Vec<Label>, x: usize) -> Vec<Label> {
+    if cands.is_empty() {
+        return cands;
+    }
+    cands.sort_by_key(Label::dedup_key);
+    cands.dedup_by(|b, a| b.src == a.src); // keeps first = best per source
+    cands.sort_by_key(Label::rank_key);
+    cands.truncate(x);
+    cands
+}
+
+/// True if two label lists agree on the paper-visible fields (src, dist) and
+/// the realized weights — used for fixpoint detection.
+pub fn labels_equal(a: &[Label], b: &[Label]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.src == y.src && x.dist == y.dist && x.pw == y.pw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(src: VId, dist: Weight) -> Label {
+        Label {
+            src,
+            dist,
+            pw: dist,
+            path: None,
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_min_distance_per_source() {
+        let out = reduce_labels(vec![l(2, 5.0), l(1, 3.0), l(2, 1.0), l(1, 4.0)], 10);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].src, out[0].dist), (2, 1.0));
+        assert_eq!((out[1].src, out[1].dist), (1, 3.0));
+    }
+
+    #[test]
+    fn ranking_breaks_distance_ties_by_id() {
+        let out = reduce_labels(vec![l(9, 2.0), l(4, 2.0), l(7, 1.0)], 10);
+        let srcs: Vec<VId> = out.iter().map(|x| x.src).collect();
+        assert_eq!(srcs, vec![7, 4, 9]);
+    }
+
+    #[test]
+    fn truncation_to_x() {
+        let out = reduce_labels((0..20).map(|i| l(i, i as f64)).collect(), 5);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.last().unwrap().src, 4);
+    }
+
+    #[test]
+    fn equal_dist_pw_tiebreak_prefers_smaller_pw() {
+        let mut a = l(3, 2.0);
+        a.pw = 9.0;
+        let mut b = l(3, 2.0);
+        b.pw = 2.5;
+        let out = reduce_labels(vec![a, b], 4);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].pw, 2.5);
+    }
+
+    #[test]
+    fn labels_equal_compares_fields() {
+        assert!(labels_equal(&[l(1, 2.0)], &[l(1, 2.0)]));
+        assert!(!labels_equal(&[l(1, 2.0)], &[l(1, 2.5)]));
+        assert!(!labels_equal(&[l(1, 2.0)], &[]));
+        let mut c = l(1, 2.0);
+        c.pw = 3.0;
+        assert!(!labels_equal(&[l(1, 2.0)], &[c]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(reduce_labels(vec![], 3).is_empty());
+    }
+}

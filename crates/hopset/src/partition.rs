@@ -1,0 +1,226 @@
+//! Cluster partitions `P_i` and per-vertex cluster memory (§2.1, §4.3).
+//!
+//! Each phase's input is a collection of clusters `P_i`; every cluster `C`
+//! is centered at a vertex `r_C ∈ C` and identified by `r_C`'s id (§1.5).
+//! Vertices whose cluster joined some `U_j` (j < i) are no longer clustered
+//! (`cluster_of = None`) but still relay exploration messages.
+
+use crate::path::MemoryPath;
+use pgraph::{VId, Weight};
+use std::sync::Arc;
+
+/// One cluster: a center and its members (sorted, includes the center).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    /// The center `r_C`; the cluster's id is this vertex's id.
+    pub center: VId,
+    /// All member vertices, ascending (contains `center`).
+    pub members: Vec<VId>,
+}
+
+/// The collection `P_i`.
+#[derive(Clone, Debug, Default)]
+pub struct Partition {
+    /// `cluster_of[v]` = index into `clusters` of the cluster containing
+    /// `v`, or `None` if `v` is no longer clustered (already in `U^{(j)}`).
+    pub cluster_of: Vec<Option<u32>>,
+    /// Clusters sorted by center id (deterministic iteration order).
+    pub clusters: Vec<Cluster>,
+}
+
+impl Partition {
+    /// `P_0`: every vertex is a singleton cluster centered at itself.
+    pub fn singletons(n: usize) -> Partition {
+        Partition {
+            cluster_of: (0..n as u32).map(Some).collect(),
+            clusters: (0..n as VId)
+                .map(|v| Cluster {
+                    center: v,
+                    members: vec![v],
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True if no clusters remain.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The center of cluster index `c`.
+    #[inline]
+    pub fn center(&self, c: u32) -> VId {
+        self.clusters[c as usize].center
+    }
+
+    /// Index of the cluster centered at `center_id`, if any.
+    pub fn index_of_center(&self, center_id: VId) -> Option<u32> {
+        self.clusters
+            .binary_search_by_key(&center_id, |c| c.center)
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Check the partition invariant (Lemma 2.10 maintains it): every vertex
+    /// belongs to at most one cluster, clusters are disjoint and sorted by
+    /// center, centers are members.
+    pub fn validate(&self, n: usize) -> bool {
+        if self.cluster_of.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for (ci, cl) in self.clusters.iter().enumerate() {
+            if !cl.members.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            if !cl.members.contains(&cl.center) {
+                return false;
+            }
+            for &m in &cl.members {
+                if seen[m as usize] || self.cluster_of[m as usize] != Some(ci as u32) {
+                    return false;
+                }
+                seen[m as usize] = true;
+            }
+        }
+        // Sorted by center and every unclustered vertex has None.
+        self.clusters.windows(2).all(|w| w[0].center < w[1].center)
+            && (0..n).all(|v| seen[v] || self.cluster_of[v].is_none())
+    }
+}
+
+/// Per-vertex cluster memory (the `CP(v)/CD(v)` arrays of §4.3): the path
+/// from `v` to its cluster's center within `E ∪ H_{k-1}` and its weight.
+/// Weights are always maintained (cheap scalars — they feed edge-weight
+/// assignment); paths only when building a path-reporting hopset.
+#[derive(Clone, Debug)]
+pub struct ClusterMemory {
+    /// `cpw[v]` = weight of the stored `v → center` path (0 for centers and
+    /// unclustered vertices).
+    pub weight: Vec<Weight>,
+    /// `path[v]` = the `v → center` path; `Some` iff recording paths.
+    pub path: Option<Vec<Arc<MemoryPath>>>,
+}
+
+impl ClusterMemory {
+    /// Phase-0 memory: every vertex is its own center.
+    pub fn trivial(n: usize, record_paths: bool) -> ClusterMemory {
+        ClusterMemory {
+            weight: vec![0.0; n],
+            path: record_paths
+                .then(|| (0..n as VId).map(|v| Arc::new(MemoryPath::trivial(v))).collect()),
+        }
+    }
+
+    /// The stored path of `v` (panics if paths are not recorded).
+    pub fn path_of(&self, v: VId) -> &Arc<MemoryPath> {
+        &self.path.as_ref().expect("paths recorded")[v as usize]
+    }
+
+    /// Extend `v`'s memory: its old center `r` was absorbed into a
+    /// supercluster centered at `r'` via a path `r → r'` of weight `w`.
+    pub fn extend(&mut self, v: VId, center_path: Option<&MemoryPath>, w: Weight) {
+        self.weight[v as usize] += w;
+        if let Some(paths) = &mut self.path {
+            let p = center_path.expect("path required in path mode");
+            let joined = paths[v as usize].concat(p);
+            paths[v as usize] = Arc::new(joined);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::MemEdge;
+
+    #[test]
+    fn singleton_partition_is_valid() {
+        let p = Partition::singletons(5);
+        assert_eq!(p.len(), 5);
+        assert!(p.validate(5));
+        assert_eq!(p.center(3), 3);
+        assert_eq!(p.index_of_center(2), Some(2));
+    }
+
+    #[test]
+    fn index_of_center_binary_search() {
+        let p = Partition {
+            cluster_of: vec![Some(0), None, Some(1), Some(1)],
+            clusters: vec![
+                Cluster {
+                    center: 0,
+                    members: vec![0],
+                },
+                Cluster {
+                    center: 2,
+                    members: vec![2, 3],
+                },
+            ],
+        };
+        assert!(p.validate(4));
+        assert_eq!(p.index_of_center(2), Some(1));
+        assert_eq!(p.index_of_center(1), None);
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let p = Partition {
+            cluster_of: vec![Some(0), Some(0), Some(1)],
+            clusters: vec![
+                Cluster {
+                    center: 0,
+                    members: vec![0, 1],
+                },
+                Cluster {
+                    center: 1, // center 1 also a member of cluster 0 → invalid
+                    members: vec![1, 2],
+                },
+            ],
+        };
+        assert!(!p.validate(3));
+    }
+
+    #[test]
+    fn validate_requires_center_membership() {
+        let p = Partition {
+            cluster_of: vec![Some(0), Some(0)],
+            clusters: vec![Cluster {
+                center: 5,
+                members: vec![0, 1],
+            }],
+        };
+        assert!(!p.validate(2));
+    }
+
+    #[test]
+    fn cluster_memory_weights() {
+        let mut cm = ClusterMemory::trivial(4, false);
+        assert_eq!(cm.weight, vec![0.0; 4]);
+        cm.extend(2, None, 3.5);
+        assert_eq!(cm.weight[2], 3.5);
+        assert!(cm.path.is_none());
+    }
+
+    #[test]
+    fn cluster_memory_paths() {
+        let mut cm = ClusterMemory::trivial(4, true);
+        assert_eq!(cm.path_of(1).start(), 1);
+        // Vertex 1's center 1 was absorbed by center 3 via edge 1-3.
+        let bridge = MemoryPath {
+            verts: vec![1, 3],
+            links: vec![(MemEdge::Base, 2.0)],
+        };
+        cm.extend(1, Some(&bridge), 2.0);
+        assert_eq!(cm.weight[1], 2.0);
+        let p = cm.path_of(1);
+        assert_eq!(p.start(), 1);
+        assert_eq!(p.end(), 3);
+        assert!((p.weight() - 2.0).abs() < 1e-12);
+    }
+}

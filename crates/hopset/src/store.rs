@@ -1,0 +1,224 @@
+//! The hopset edge store, with per-edge provenance and optional memory paths.
+
+use crate::path::MemoryPath;
+use pgraph::{VId, Weight};
+
+/// Why an edge was inserted (§2.1: superclustering vs interconnection;
+/// Appendix C adds star edges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Superclustering edge from a cluster center to its supercluster's
+    /// center, added in the given phase (§2.1.1).
+    Supercluster {
+        /// Phase `i ∈ [0, ℓ−1]` that created the edge.
+        phase: u8,
+    },
+    /// Interconnection edge between centers of neighboring `U_i` clusters
+    /// (§2.1.2).
+    Interconnect {
+        /// Phase `i ∈ [0, ℓ]` that created the edge.
+        phase: u8,
+    },
+    /// Star edge from a node center to a node member (Appendix C.3).
+    Star,
+}
+
+/// One hopset edge.
+#[derive(Clone, Debug)]
+pub struct HopsetEdge {
+    /// One endpoint.
+    pub u: VId,
+    /// Other endpoint.
+    pub v: VId,
+    /// Weight `ω_H(u, v)` — never shorter than `d_G(u, v)` (Lemmas 2.3/2.9;
+    /// validated in tests).
+    pub w: Weight,
+    /// The scale `k` whose single-scale hopset `H_k` contains this edge.
+    pub scale: u32,
+    /// Provenance.
+    pub kind: EdgeKind,
+    /// Index into [`Hopset::paths`] when built path-reporting (§4).
+    pub path: Option<u32>,
+}
+
+/// The accumulated hopset `H = ⋃_k H_k`.
+#[derive(Clone, Debug, Default)]
+pub struct Hopset {
+    /// All edges, grouped by ascending scale (edges of scale `k` are
+    /// contiguous and their memory paths reference only lower scales).
+    pub edges: Vec<HopsetEdge>,
+    /// Memory-path arena (§4.1's arrays `A(u, v)`).
+    pub paths: Vec<MemoryPath>,
+}
+
+impl Hopset {
+    /// Empty hopset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All edges as an overlay list for [`pgraph::UnionView`]; the overlay
+    /// index of edge `i` is exactly `i`, so `EdgeTag::Extra(i)` maps back to
+    /// `self.edges[i]`.
+    pub fn overlay_all(&self) -> Vec<(VId, VId, Weight)> {
+        self.edges.iter().map(|e| (e.u, e.v, e.w)).collect()
+    }
+
+    /// The edges of a single scale `k` as an overlay list, plus the global
+    /// index of each overlay entry (to translate `EdgeTag::Extra` back).
+    pub fn overlay_scale(&self, k: u32) -> (Vec<(VId, VId, Weight)>, Vec<u32>) {
+        let mut overlay = Vec::new();
+        let mut ids = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.scale == k {
+                overlay.push((e.u, e.v, e.w));
+                ids.push(i as u32);
+            }
+        }
+        (overlay, ids)
+    }
+
+    /// Number of edges per scale, ascending by scale.
+    pub fn size_by_scale(&self) -> Vec<(u32, usize)> {
+        let mut counts: Vec<(u32, usize)> = Vec::new();
+        for e in &self.edges {
+            match counts.iter_mut().find(|(k, _)| *k == e.scale) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((e.scale, 1)),
+            }
+        }
+        counts.sort_unstable();
+        counts
+    }
+
+    /// Count edges by kind: (supercluster, interconnect, star).
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut s = 0;
+        let mut i = 0;
+        let mut st = 0;
+        for e in &self.edges {
+            match e.kind {
+                EdgeKind::Supercluster { .. } => s += 1,
+                EdgeKind::Interconnect { .. } => i += 1,
+                EdgeKind::Star => st += 1,
+            }
+        }
+        (s, i, st)
+    }
+
+    /// Append an edge, returning its global index.
+    pub fn push(&mut self, e: HopsetEdge) -> u32 {
+        let id = self.edges.len() as u32;
+        self.edges.push(e);
+        id
+    }
+
+    /// Register a memory path, returning its arena index.
+    pub fn push_path(&mut self, p: MemoryPath) -> u32 {
+        let id = self.paths.len() as u32;
+        self.paths.push(p);
+        id
+    }
+
+    /// The memory path of edge `edge_idx`, if recorded.
+    pub fn path_of(&self, edge_idx: u32) -> Option<&MemoryPath> {
+        self.edges[edge_idx as usize]
+            .path
+            .map(|p| &self.paths[p as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::MemEdge;
+
+    fn edge(u: VId, v: VId, w: Weight, scale: u32) -> HopsetEdge {
+        HopsetEdge {
+            u,
+            v,
+            w,
+            scale,
+            kind: EdgeKind::Interconnect { phase: 0 },
+            path: None,
+        }
+    }
+
+    #[test]
+    fn overlay_index_identity() {
+        let mut h = Hopset::new();
+        h.push(edge(0, 1, 2.0, 3));
+        h.push(edge(1, 2, 4.0, 4));
+        let all = h.overlay_all();
+        assert_eq!(all, vec![(0, 1, 2.0), (1, 2, 4.0)]);
+        let (ov, ids) = h.overlay_scale(4);
+        assert_eq!(ov, vec![(1, 2, 4.0)]);
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn size_and_kind_accounting() {
+        let mut h = Hopset::new();
+        h.push(edge(0, 1, 1.0, 3));
+        h.push(edge(0, 2, 1.0, 3));
+        h.push(HopsetEdge {
+            u: 1,
+            v: 2,
+            w: 5.0,
+            scale: 4,
+            kind: EdgeKind::Supercluster { phase: 1 },
+            path: None,
+        });
+        h.push(HopsetEdge {
+            u: 3,
+            v: 4,
+            w: 5.0,
+            scale: 4,
+            kind: EdgeKind::Star,
+            path: None,
+        });
+        assert_eq!(h.size_by_scale(), vec![(3, 2), (4, 2)]);
+        assert_eq!(h.kind_counts(), (1, 2, 1));
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn memory_path_roundtrip() {
+        let mut h = Hopset::new();
+        let pid = h.push_path(MemoryPath {
+            verts: vec![0, 3, 1],
+            links: vec![(MemEdge::Base, 1.0), (MemEdge::Base, 2.0)],
+        });
+        let eid = h.push(HopsetEdge {
+            u: 0,
+            v: 1,
+            w: 3.0,
+            scale: 5,
+            kind: EdgeKind::Interconnect { phase: 2 },
+            path: Some(pid),
+        });
+        let p = h.path_of(eid).unwrap();
+        assert_eq!(p.start(), 0);
+        assert_eq!(p.end(), 1);
+        assert!((p.weight() - 3.0).abs() < 1e-12);
+        assert_eq!(h.path_of(eid).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_hopset() {
+        let h = Hopset::new();
+        assert!(h.is_empty());
+        assert!(h.overlay_all().is_empty());
+        assert!(h.size_by_scale().is_empty());
+    }
+}

@@ -1,0 +1,383 @@
+//! Deterministic graph generators for tests, examples and experiments.
+//!
+//! Every randomized generator takes an explicit `seed`; the deterministic
+//! hopset algorithm itself never consumes randomness (see the workspace
+//! determinism contract in DESIGN.md §5).
+//!
+//! Families are chosen to exercise the paper's machinery:
+//! * paths/cycles/grids — long shortest paths (many hops) that a hopset must
+//!   shortcut: the adversarial case for hop-limited Bellman–Ford;
+//! * `clique_chain` — dense areas chained together: exercises
+//!   superclustering (dense areas become superclusters, §2.1);
+//! * `gnm`/`geometric` — the generic weighted inputs of the experiments;
+//! * `exponential_path`/`wide_weights` — huge aspect ratio Λ: exercises the
+//!   Klein–Sairam weight reduction (Appendix C).
+
+use crate::{Graph, GraphBuilder, VId, Weight};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Path `0 - 1 - ... - n-1` with unit weights.
+pub fn path(n: usize) -> Graph {
+    path_weighted(n, |_| 1.0)
+}
+
+/// Path with edge `i – i+1` weighted by `w(i)`.
+pub fn path_weighted(n: usize, w: impl Fn(usize) -> Weight) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i as VId, (i + 1) as VId, w(i));
+    }
+    b.build().expect("path is valid")
+}
+
+/// Cycle on `n >= 3` vertices with unit weights.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs >= 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 0..n {
+        b.add_edge(i as VId, ((i + 1) % n) as VId, 1.0);
+    }
+    b.build().expect("cycle is valid")
+}
+
+/// Star: vertex 0 connected to all others with unit weights.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 1..n {
+        b.add_edge(0, i as VId, 1.0);
+    }
+    b.build().expect("star is valid")
+}
+
+/// Complete graph with weight `w` on every edge.
+pub fn complete(n: usize, w: Weight) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VId, v as VId, w);
+        }
+    }
+    b.build().expect("complete graph is valid")
+}
+
+/// `rows × cols` grid; horizontal/vertical edges, weights from `w(u, v)`.
+pub fn grid(rows: usize, cols: usize, w: impl Fn(VId, VId) -> Weight) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VId;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let (u, v) = (id(r, c), id(r, c + 1));
+                b.add_edge(u, v, w(u, v));
+            }
+            if r + 1 < rows {
+                let (u, v) = (id(r, c), id(r + 1, c));
+                b.add_edge(u, v, w(u, v));
+            }
+        }
+    }
+    b.build().expect("grid is valid")
+}
+
+/// Unit-weight grid.
+pub fn unit_grid(rows: usize, cols: usize) -> Graph {
+    grid(rows, cols, |_, _| 1.0)
+}
+
+/// A grid with seeded random weights in `[lo, hi]` — a stand-in for
+/// road-network-like inputs (planar-ish, bounded degree, weight jitter).
+pub fn road_grid(rows: usize, cols: usize, seed: u64, lo: Weight, hi: Weight) -> Graph {
+    assert!(lo > 0.0 && hi >= lo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VId;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), rng.random_range(lo..=hi));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), rng.random_range(lo..=hi));
+            }
+        }
+    }
+    b.build().expect("road grid is valid")
+}
+
+/// 2-D torus (grid with wraparound), unit weights.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs >= 3 per dimension");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| ((r % rows) * cols + (c % cols)) as VId;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, c + 1), 1.0);
+            b.add_edge(id(r, c), id(r + 1, c), 1.0);
+        }
+    }
+    b.build().expect("torus is valid")
+}
+
+/// Seeded Erdős–Rényi G(n, m) with weights uniform in `[lo, hi]`.
+/// Duplicate draws are collapsed by the builder (min weight wins), so the
+/// edge count may be slightly below `m`.
+pub fn gnm(n: usize, m: usize, seed: u64, lo: Weight, hi: Weight) -> Graph {
+    assert!(n >= 2 && lo > 0.0 && hi >= lo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m && attempts < 20 * m + 100 {
+        let u = rng.random_range(0..n) as VId;
+        let v = rng.random_range(0..n) as VId;
+        attempts += 1;
+        if u != v {
+            b.add_edge(u, v, rng.random_range(lo..=hi));
+            added += 1;
+        }
+    }
+    b.build().expect("gnm is valid")
+}
+
+/// G(n, m) plus a random-weight Hamiltonian path, guaranteeing connectivity.
+pub fn gnm_connected(n: usize, m: usize, seed: u64, lo: Weight, hi: Weight) -> Graph {
+    let g = gnm(n, m.saturating_sub(n - 1), seed, lo, hi);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut b = GraphBuilder::with_capacity(n, m + n);
+    b.extend_edges(g.edges().iter().copied());
+    for i in 0..n - 1 {
+        b.add_edge(i as VId, (i + 1) as VId, rng.random_range(lo..=hi));
+    }
+    b.build().expect("gnm_connected is valid")
+}
+
+/// Random geometric graph on the unit square: vertices at seeded random
+/// points, edges between pairs closer than `radius`, weight = Euclidean
+/// distance scaled so the minimum is >= 1.
+pub fn geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d <= radius && d > 0.0 {
+                b.add_edge(u as VId, v as VId, d);
+            }
+        }
+    }
+    let g = b.build().expect("geometric is valid");
+    g.scaled_to_unit_min()
+}
+
+/// A chain of `k` cliques of size `s`, consecutive cliques bridged by a
+/// single edge of weight `bridge_w`. Dense areas (cliques) are exactly what
+/// the superclustering step is designed to swallow (§2.1), so this family
+/// stresses the supercluster/interconnect split.
+pub fn clique_chain(k: usize, s: usize, bridge_w: Weight) -> Graph {
+    assert!(k >= 1 && s >= 2 && bridge_w > 0.0);
+    let n = k * s;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..k {
+        let base = c * s;
+        for i in 0..s {
+            for j in (i + 1)..s {
+                b.add_edge((base + i) as VId, (base + j) as VId, 1.0);
+            }
+        }
+        if c + 1 < k {
+            b.add_edge((base + s - 1) as VId, (base + s) as VId, bridge_w);
+        }
+    }
+    b.build().expect("clique chain is valid")
+}
+
+/// Path whose `i`-th edge weighs `base^i`: aspect ratio `base^(n-2)`,
+/// the adversarial input for aspect-ratio-dependent constructions and the
+/// motivating case for the Klein–Sairam reduction (Appendix C).
+pub fn exponential_path(n: usize, base: Weight) -> Graph {
+    assert!(base > 1.0);
+    path_weighted(n, |i| base.powi(i as i32))
+}
+
+/// Hierarchical communities: `branching^levels` vertices; level-1 groups of
+/// `branching` vertices are unit-weight cliques; at each higher level `j`,
+/// the leaders (smallest ids) of the `branching` sub-groups form a clique
+/// of weight `weight_base^(j-1)`.
+///
+/// Density is *recursive*: every scale of distances sees dense areas, so
+/// the superclustering-and-interconnection phase loop (§2.1) engages at
+/// many scales and through several phases — the richest input for the E5
+/// phase-decay experiment.
+pub fn hierarchical(branching: usize, levels: u32, weight_base: Weight) -> Graph {
+    assert!(branching >= 2 && levels >= 1 && weight_base >= 1.0);
+    let n = branching.pow(levels);
+    let mut b = GraphBuilder::new(n);
+    for j in 1..=levels {
+        let group = branching.pow(j); // group size at level j
+        let sub = group / branching; // sub-group size
+        let w = weight_base.powi(j as i32 - 1);
+        for g0 in (0..n).step_by(group) {
+            // Leaders of the sub-groups are their smallest members.
+            for a in 0..branching {
+                for c in (a + 1)..branching {
+                    b.add_edge((g0 + a * sub) as VId, (g0 + c * sub) as VId, w);
+                }
+            }
+        }
+    }
+    b.build().expect("hierarchical is valid")
+}
+
+/// G(n, m) whose weights are `2^j` for seeded random `j ∈ [0, levels)`:
+/// wide weight spectrum with every scale populated.
+pub fn wide_weights(n: usize, m: usize, levels: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m + n - 1);
+    for i in 0..n - 1 {
+        let j = rng.random_range(0..levels);
+        b.add_edge(i as VId, (i + 1) as VId, f64::powi(2.0, j as i32));
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m && attempts < 20 * m + 100 {
+        let u = rng.random_range(0..n) as VId;
+        let v = rng.random_range(0..n) as VId;
+        attempts += 1;
+        if u != v {
+            let j = rng.random_range(0..levels);
+            b.add_edge(u, v, f64::powi(2.0, j as i32));
+            added += 1;
+        }
+    }
+    b.build().expect("wide_weights is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{bfs_hops, dijkstra};
+
+    #[test]
+    fn path_distances() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        let d = dijkstra(&g, 0).dist;
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn cycle_has_two_way_distances() {
+        let g = cycle(6);
+        let d = dijkstra(&g, 0).dist;
+        assert_eq!(d[3], 3.0);
+        assert_eq!(d[5], 1.0);
+    }
+
+    #[test]
+    fn star_diameter_two() {
+        let g = star(10);
+        let h = bfs_hops(&g, 1);
+        assert_eq!(h[0], 1);
+        assert!(h[2..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(6, 2.0);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.min_weight(), Some(2.0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = unit_grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // (rows-1)*cols + rows*(cols-1) = 2*4 + 3*3 = 17
+        assert_eq!(g.num_edges(), 17);
+        let d = dijkstra(&g, 0).dist;
+        assert_eq!(d[11], 5.0); // manhattan distance corner-to-corner
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let g = torus(4, 4);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 32);
+        let d = bfs_hops(&g, 0);
+        assert_eq!(d[3], 1); // wraparound
+    }
+
+    #[test]
+    fn gnm_is_seed_deterministic() {
+        let a = gnm(50, 120, 7, 1.0, 4.0);
+        let b = gnm(50, 120, 7, 1.0, 4.0);
+        assert_eq!(a.edges(), b.edges());
+        let c = gnm(50, 120, 8, 1.0, 4.0);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn gnm_connected_is_connected() {
+        let g = gnm_connected(40, 60, 3, 1.0, 2.0);
+        let d = bfs_hops(&g, 0);
+        assert!(d.iter().all(|&x| x != usize::MAX));
+    }
+
+    #[test]
+    fn geometric_unit_min() {
+        let g = geometric(30, 0.4, 5);
+        if g.num_edges() > 0 {
+            assert!((g.min_weight().unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clique_chain_structure() {
+        let g = clique_chain(3, 4, 5.0);
+        assert_eq!(g.num_vertices(), 12);
+        // 3 cliques of C(4,2)=6 edges + 2 bridges
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(g.edge_weight(3, 4), Some(5.0));
+    }
+
+    #[test]
+    fn exponential_path_aspect_ratio() {
+        let g = exponential_path(10, 2.0);
+        assert_eq!(g.min_weight(), Some(1.0));
+        assert_eq!(g.max_weight(), Some(256.0));
+        assert!(g.aspect_ratio_bound() >= 256.0);
+    }
+
+    #[test]
+    fn hierarchical_structure() {
+        let g = hierarchical(4, 3, 8.0);
+        assert_eq!(g.num_vertices(), 64);
+        // Each level contributes C(4,2) cliques per group:
+        // level 1: 16 groups * 6; level 2: 4 * 6; level 3: 1 * 6.
+        assert_eq!(g.num_edges(), 16 * 6 + 4 * 6 + 6);
+        // Level-1 edges weigh 1, level-3 edges weigh 64.
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(0, 16), Some(64.0));
+        // Connected through the leader hierarchy.
+        let d = dijkstra(&g, 0).dist;
+        assert!(d.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn wide_weights_has_power_of_two_weights() {
+        let g = wide_weights(32, 64, 6, 11);
+        for &(_, _, w) in g.edges() {
+            assert_eq!(w.log2().fract(), 0.0, "weight {w} not a power of two");
+        }
+        let d = bfs_hops(&g, 0);
+        assert!(d.iter().all(|&x| x != usize::MAX), "backbone keeps it connected");
+    }
+}

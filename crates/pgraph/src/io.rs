@@ -1,0 +1,196 @@
+//! A tiny DIMACS-like text format for weighted undirected graphs.
+//!
+//! ```text
+//! c comment lines start with 'c'
+//! p <num_vertices> <num_edges>
+//! e <u> <v> <weight>
+//! ```
+//!
+//! Self-contained (no serde) and line-oriented so experiment inputs and
+//! outputs can be versioned and diffed.
+
+use crate::{Graph, GraphBuilder, VId, Weight};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the text, with 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The edge list violated graph invariants.
+    Graph(crate::csr::GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write `g` in the text format.
+pub fn write_graph(g: &Graph, w: impl Write) -> Result<(), IoError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "p {} {}", g.num_vertices(), g.num_edges())?;
+    for &(u, v, wt) in g.edges() {
+        writeln!(out, "e {u} {v} {wt}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write `g` to a file path.
+pub fn save_graph(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_graph(g, std::fs::File::create(path)?)
+}
+
+/// Read a graph in the text format.
+pub fn read_graph(r: impl Read) -> Result<Graph, IoError> {
+    let reader = BufReader::new(r);
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_edges = 0usize;
+    let mut line_str = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line_str.clear();
+        let read = reader.read_line(&mut line_str)?;
+        if read == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = line_str.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(IoError::Parse {
+                        line: lineno,
+                        msg: "duplicate 'p' line".into(),
+                    });
+                }
+                let n: usize = parse_field(it.next(), lineno, "n")?;
+                declared_edges = parse_field(it.next(), lineno, "m")?;
+                builder = Some(GraphBuilder::with_capacity(n, declared_edges));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or(IoError::Parse {
+                    line: lineno,
+                    msg: "'e' before 'p'".into(),
+                })?;
+                let u: VId = parse_field(it.next(), lineno, "u")?;
+                let v: VId = parse_field(it.next(), lineno, "v")?;
+                let w: Weight = parse_field(it.next(), lineno, "w")?;
+                b.add_edge(u, v, w);
+            }
+            Some(tok) => {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    msg: format!("unknown record '{tok}'"),
+                })
+            }
+            None => unreachable!("non-empty line has a token"),
+        }
+    }
+    let b = builder.ok_or(IoError::Parse {
+        line: lineno,
+        msg: "missing 'p' line".into(),
+    })?;
+    if b.len() != declared_edges {
+        return Err(IoError::Parse {
+            line: lineno,
+            msg: format!("declared {declared_edges} edges, found {}", b.len()),
+        });
+    }
+    b.build().map_err(IoError::Graph)
+}
+
+/// Load a graph from a file path.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    name: &str,
+) -> Result<T, IoError> {
+    let tok = tok.ok_or_else(|| IoError::Parse {
+        line,
+        msg: format!("missing field '{name}'"),
+    })?;
+    tok.parse().map_err(|_| IoError::Parse {
+        line,
+        msg: format!("bad value '{tok}' for field '{name}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let g = gen::gnm(30, 60, 1, 1.0, 5.0);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let h = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let text = "c hello\n\np 3 2\nc mid\ne 0 1 1.5\ne 1 2 2.5\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(1, 2), Some(2.5));
+    }
+
+    #[test]
+    fn rejects_edge_before_header() {
+        let err = read_graph("e 0 1 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let err = read_graph("p 3 2\ne 0 1 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let err = read_graph("p 2 0\nx 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_graph() {
+        let err = read_graph("p 2 1\ne 0 0 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Graph(_)));
+    }
+}

@@ -1,0 +1,226 @@
+//! Union adjacency views over `E ∪ H`.
+//!
+//! Every exploration in the paper runs on the graph `G_{k-1} = (V, E ∪
+//! H_{k-1}, ω_{k-1})`, where `H_{k-1}` is the hopset of the previous scale
+//! (§2). Rather than materializing a merged CSR for every scale, we overlay
+//! the base graph with an *extra* edge set and iterate both. Parallel edges
+//! between the two layers are resolved by the paper's rule `ω_k(u,v) =
+//! min{ω(u,v), ω_{H_k}(u,v)}` implicitly: explorations simply relax both.
+//!
+//! The overlay keeps the *index* of each extra edge, so downstream consumers
+//! (path-reporting, §4) can attribute a relaxation to a specific hopset edge.
+
+use crate::{Graph, VId, Weight};
+
+/// Identifies which layer an adjacency entry came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeTag {
+    /// An edge of the base graph `E`.
+    Base,
+    /// The `i`-th edge of the overlay (e.g. hopset edge index).
+    Extra(u32),
+}
+
+/// A read-only adjacency view over a base [`Graph`] plus an overlay edge set.
+pub struct UnionView<'g> {
+    base: &'g Graph,
+    /// CSR over the overlay edges.
+    off: Vec<usize>,
+    /// (neighbor, weight, overlay edge index)
+    adj: Vec<(VId, Weight, u32)>,
+    extra_count: usize,
+}
+
+impl<'g> UnionView<'g> {
+    /// View of the base graph alone.
+    pub fn base_only(base: &'g Graph) -> Self {
+        UnionView {
+            base,
+            off: vec![0; base.num_vertices() + 1],
+            adj: Vec::new(),
+            extra_count: 0,
+        }
+    }
+
+    /// Overlay `extra` (undirected edges `(u, v, w)`) on `base`.
+    ///
+    /// Panics if an overlay endpoint is out of range or a weight is not
+    /// positive and finite — overlay edges are produced by this workspace's
+    /// own algorithms, so a violation is a logic error, not bad input.
+    pub fn with_extra(base: &'g Graph, extra: &[(VId, VId, Weight)]) -> Self {
+        let n = base.num_vertices();
+        let mut deg = vec![0usize; n + 1];
+        for &(u, v, w) in extra {
+            assert!((u as usize) < n && (v as usize) < n, "overlay endpoint out of range");
+            assert!(w.is_finite() && w > 0.0, "overlay weight must be positive");
+            assert_ne!(u, v, "overlay self loop");
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let off = deg;
+        let mut cursor = off.clone();
+        let mut adj = vec![(0 as VId, 0.0, 0u32); 2 * extra.len()];
+        for (i, &(u, v, w)) in extra.iter().enumerate() {
+            adj[cursor[u as usize]] = (v, w, i as u32);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = (u, w, i as u32);
+            cursor[v as usize] += 1;
+        }
+        // Deterministic iteration order within the overlay.
+        for v in 0..n {
+            adj[off[v]..off[v + 1]].sort_by(|a, b| a.0.cmp(&b.0).then(a.2.cmp(&b.2)));
+        }
+        UnionView {
+            base,
+            off,
+            adj,
+            extra_count: extra.len(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of undirected edges in the union (base + overlay; parallel
+    /// edges between the layers are counted twice, matching the PRAM
+    /// processor-allocation accounting of §1.5.1).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.base.num_edges() + self.extra_count
+    }
+
+    /// Number of overlay edges.
+    #[inline]
+    pub fn num_extra(&self) -> usize {
+        self.extra_count
+    }
+
+    /// The base graph.
+    #[inline]
+    pub fn base(&self) -> &'g Graph {
+        self.base
+    }
+
+    /// Total degree of `v` in the union.
+    #[inline]
+    pub fn degree(&self, v: VId) -> usize {
+        self.base.degree(v) + (self.off[v as usize + 1] - self.off[v as usize])
+    }
+
+    /// Visit every `(neighbor, weight, tag)` of `v`: base edges first (sorted
+    /// by neighbor), then overlay edges (sorted by neighbor, then index).
+    #[inline]
+    pub fn for_each_neighbor(&self, v: VId, mut f: impl FnMut(VId, Weight, EdgeTag)) {
+        for (nb, w) in self.base.neighbors(v) {
+            f(nb, w, EdgeTag::Base);
+        }
+        for &(nb, w, idx) in &self.adj[self.off[v as usize]..self.off[v as usize + 1]] {
+            f(nb, w, EdgeTag::Extra(idx));
+        }
+    }
+
+    /// Iterate neighbors of `v` as an iterator (allocation-free).
+    pub fn neighbors(&self, v: VId) -> impl Iterator<Item = (VId, Weight, EdgeTag)> + '_ {
+        let base = self.base.neighbors(v).map(|(nb, w)| (nb, w, EdgeTag::Base));
+        let extra = self.adj[self.off[v as usize]..self.off[v as usize + 1]]
+            .iter()
+            .map(|&(nb, w, idx)| (nb, w, EdgeTag::Extra(idx)));
+        base.chain(extra)
+    }
+
+    /// The minimum weight of an edge `(u, v)` in the union, if any.
+    pub fn edge_weight(&self, u: VId, v: VId) -> Option<Weight> {
+        let base = self.base.edge_weight(u, v);
+        let extra = self.adj[self.off[u as usize]..self.off[u as usize + 1]]
+            .iter()
+            .filter(|e| e.0 == v)
+            .map(|e| e.1)
+            .min_by(crate::wcmp);
+        match (base, extra) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path3() -> Graph {
+        Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn base_only_mirrors_graph() {
+        let g = path3();
+        let v = UnionView::base_only(&g);
+        assert_eq!(v.num_edges(), 3);
+        assert_eq!(v.degree(1), 2);
+        let mut seen = Vec::new();
+        v.for_each_neighbor(1, |nb, w, t| seen.push((nb, w, t)));
+        assert_eq!(
+            seen,
+            vec![(0, 1.0, EdgeTag::Base), (2, 1.0, EdgeTag::Base)]
+        );
+    }
+
+    #[test]
+    fn overlay_edges_visible_and_tagged() {
+        let g = path3();
+        let extra = vec![(0, 3, 2.5), (1, 3, 9.0)];
+        let v = UnionView::with_extra(&g, &extra);
+        assert_eq!(v.num_edges(), 5);
+        assert_eq!(v.num_extra(), 2);
+        assert_eq!(v.degree(3), 3);
+        let mut tags = Vec::new();
+        v.for_each_neighbor(3, |nb, _, t| tags.push((nb, t)));
+        assert_eq!(
+            tags,
+            vec![
+                (2, EdgeTag::Base),
+                (0, EdgeTag::Extra(0)),
+                (1, EdgeTag::Extra(1))
+            ]
+        );
+        assert_eq!(v.edge_weight(0, 3), Some(2.5));
+    }
+
+    #[test]
+    fn union_edge_weight_takes_min_across_layers() {
+        let g = path3();
+        // overlay a *heavier* parallel edge: base must win
+        let v = UnionView::with_extra(&g, &[(0, 1, 10.0)]);
+        assert_eq!(v.edge_weight(0, 1), Some(1.0));
+        // overlay a lighter parallel edge: overlay must win
+        let v2 = UnionView::with_extra(&g, &[(0, 1, 0.5)]);
+        assert_eq!(v2.edge_weight(0, 1), Some(0.5));
+    }
+
+    #[test]
+    fn neighbors_iterator_matches_for_each() {
+        let g = path3();
+        let extra = vec![(1, 3, 4.0)];
+        let v = UnionView::with_extra(&g, &extra);
+        for u in 0..4 {
+            let mut a = Vec::new();
+            v.for_each_neighbor(u, |nb, w, t| a.push((nb, w, t)));
+            let b: Vec<_> = v.neighbors(u).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlay weight must be positive")]
+    fn overlay_rejects_bad_weight() {
+        let g = path3();
+        let _ = UnionView::with_extra(&g, &[(0, 1, -1.0)]);
+    }
+}

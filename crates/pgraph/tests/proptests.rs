@@ -1,0 +1,118 @@
+//! Property tests for the graph substrate.
+
+use pgraph::exact::{bellman_ford_hops, dijkstra};
+use pgraph::{gen, io, Graph, GraphBuilder, UnionView, INF};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (8usize..60, 0usize..4, any::<u64>(), 1u32..20).prop_map(|(n, d, seed, wmax)| {
+        gen::gnm(n, n * d + 1, seed, 1.0, wmax as f64)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Text-format round trip is the identity on canonical edge lists.
+    #[test]
+    fn io_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        let h = io::read_graph(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.num_vertices(), h.num_vertices());
+        prop_assert_eq!(g.edges(), h.edges());
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over edges and
+    /// are symmetric (undirected graphs).
+    #[test]
+    fn dijkstra_triangle_and_symmetry(g in arb_graph()) {
+        let n = g.num_vertices();
+        let d0 = dijkstra(&g, 0).dist;
+        // Edge relaxation is tight at a fixpoint.
+        for &(u, v, w) in g.edges() {
+            if d0[u as usize].is_finite() {
+                prop_assert!(d0[v as usize] <= d0[u as usize] + w + 1e-9);
+            }
+            if d0[v as usize].is_finite() {
+                prop_assert!(d0[u as usize] <= d0[v as usize] + w + 1e-9);
+            }
+        }
+        // Symmetry: d(0, x) == d(x, 0).
+        for x in [n / 2, n - 1] {
+            let dx = dijkstra(&g, x as u32).dist;
+            prop_assert!(
+                (d0[x] - dx[0]).abs() < 1e-9
+                    || (d0[x] == INF && dx[0] == INF)
+            );
+        }
+    }
+
+    /// Shortest paths reconstructed from parents realize the distances.
+    #[test]
+    fn dijkstra_paths_realize_distances(g in arb_graph()) {
+        let r = dijkstra(&g, 0);
+        for v in 0..g.num_vertices() as u32 {
+            let Some(path) = r.path_to(v) else { continue };
+            let mut acc = 0.0;
+            for w in path.windows(2) {
+                acc += g.edge_weight(w[0], w[1]).expect("path edge");
+            }
+            prop_assert!((acc - r.dist[v as usize]).abs() < 1e-9);
+        }
+    }
+
+    /// Hop-bounded distances interpolate between direct edges and Dijkstra.
+    #[test]
+    fn bounded_bf_sandwich(g in arb_graph(), hops in 1usize..8) {
+        let view = UnionView::base_only(&g);
+        let exact = dijkstra(&g, 0).dist;
+        let bounded = bellman_ford_hops(&view, &[0], hops);
+        let full = bellman_ford_hops(&view, &[0], g.num_vertices());
+        for v in 0..g.num_vertices() {
+            prop_assert!(bounded[v] >= full[v] - 1e-9);
+            prop_assert!(full[v] <= exact[v] + 1e-9);
+            prop_assert!(
+                (full[v] - exact[v]).abs() < 1e-9
+                    || (full[v] == INF && exact[v] == INF)
+            );
+        }
+    }
+
+    /// The builder's parallel-edge dedup keeps the lightest copy, whatever
+    /// the insertion order.
+    #[test]
+    fn builder_dedup_keeps_min(mut ws in proptest::collection::vec(1.0f64..100.0, 1..10)) {
+        let mut b = GraphBuilder::new(2);
+        for &w in &ws {
+            b.add_edge(0, 1, w);
+        }
+        let g = b.build().unwrap();
+        ws.sort_by(|a, b| a.total_cmp(b));
+        prop_assert_eq!(g.num_edges(), 1);
+        prop_assert_eq!(g.edge_weight(0, 1), Some(ws[0]));
+    }
+
+    /// Generators honor their seed contract: same seed same graph,
+    /// different seeds (almost always) different graphs.
+    #[test]
+    fn generator_seed_contract(n in 10usize..50, seed in any::<u64>()) {
+        let a = gen::gnm(n, 2 * n, seed, 1.0, 5.0);
+        let b = gen::gnm(n, 2 * n, seed, 1.0, 5.0);
+        prop_assert_eq!(a.edges(), b.edges());
+    }
+
+    /// UnionView::edge_weight equals the min over both layers.
+    #[test]
+    fn union_view_min_weight(g in arb_graph(), w in 0.5f64..50.0) {
+        if g.num_vertices() < 2 { return Ok(()); }
+        let extra = vec![(0u32, 1u32, w)];
+        let view = UnionView::with_extra(&g, &extra);
+        let base = g.edge_weight(0, 1);
+        let expect = match base {
+            Some(b) => b.min(w),
+            None => w,
+        };
+        prop_assert_eq!(view.edge_weight(0, 1), Some(expect));
+    }
+}

@@ -1,0 +1,272 @@
+//! Parallel multi-source hop-limited Bellman–Ford over `G ∪ H`.
+//!
+//! This is the final stage of Theorems 3.8/C.3: "execute a Bellman–Ford
+//! exploration from a vertex v ∈ V limited to β hops … O(β·log n) time,
+//! O(1) processors per vertex and edge". It is also the engine behind the
+//! (1+ε)-SPT of §4 (Algorithm 1, line 3).
+//!
+//! Implementation notes:
+//! * *pull style*: each round, every vertex scans its (undirected) neighbors
+//!   and takes the best tentative distance. Pull keeps every write owned by
+//!   a single vertex — CREW-clean and trivially parallel;
+//! * *determinism*: the per-vertex minimum is taken over a totally ordered
+//!   key `(distance, parent id, edge layer, overlay index)`, so parent trees
+//!   are unique regardless of thread count;
+//! * *double buffering*: reads go to the previous round's array, exactly
+//!   like the PRAM's odd/even read/write rounds (§1.5.1).
+
+use crate::{prim, Ledger};
+use pgraph::{EdgeTag, UnionView, VId, Weight, INF};
+
+/// The parent edge chosen for a vertex by the exploration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParentEdge {
+    /// The neighbor the distance came from.
+    pub parent: VId,
+    /// Weight of the relaxed edge.
+    pub weight: Weight,
+    /// Which layer the edge belongs to (base graph or overlay index).
+    pub tag: EdgeTag,
+}
+
+/// Result of [`bellman_ford`].
+#[derive(Clone, Debug)]
+pub struct BellmanFordResult {
+    /// `dist[v]` = minimum weight of a path from the nearest source using at
+    /// most `rounds_run` hops (`d^{(h)}` of eq. (1)).
+    pub dist: Vec<Weight>,
+    /// Parent edge of each vertex (`None` for sources and unreached).
+    pub parent: Vec<Option<ParentEdge>>,
+    /// Rounds actually executed (≤ the requested hop limit).
+    pub rounds_run: usize,
+    /// `Some(r)` if no distance changed in round `r` (the exploration
+    /// converged to the unbounded shortest paths).
+    pub converged_at: Option<usize>,
+}
+
+impl BellmanFordResult {
+    /// Hop count of the tree path to `v` (follows parents). `None` if
+    /// unreached.
+    pub fn hops_to(&self, v: VId) -> Option<usize> {
+        if self.dist[v as usize] == INF {
+            return None;
+        }
+        let mut h = 0usize;
+        let mut cur = v;
+        while let Some(pe) = self.parent[cur as usize] {
+            h += 1;
+            cur = pe.parent;
+            debug_assert!(h <= self.dist.len(), "parent cycle");
+        }
+        Some(h)
+    }
+}
+
+/// Run a hop-limited multi-source Bellman–Ford exploration.
+///
+/// * `view` — the graph `G ∪ H` (overlay = hopset);
+/// * `sources` — the set `S` (Theorem 3.8's aMSSD sources);
+/// * `max_hops` — the hop budget `β`;
+/// * `ledger` — charged one step of `O(|E∪H| + n)` work per round.
+pub fn bellman_ford(
+    view: &UnionView<'_>,
+    sources: &[VId],
+    max_hops: usize,
+    ledger: &mut Ledger,
+) -> BellmanFordResult {
+    let n = view.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut parent: Vec<Option<ParentEdge>> = vec![None; n];
+    for &s in sources {
+        dist[s as usize] = 0.0;
+    }
+    let edge_slots = 2 * view.num_edges() as u64;
+    let mut rounds_run = 0usize;
+    let mut converged_at = None;
+
+    for round in 1..=max_hops {
+        ledger.step(edge_slots + n as u64);
+        // Each vertex pulls the best (distance, parent) over its neighbors,
+        // reading only the previous round's distances.
+        let prev = &dist;
+        let updates: Vec<Option<(Weight, ParentEdge)>> = prim::par_map_range(n, |v| {
+            let vid = v as VId;
+            let mut best: Option<(Weight, ParentEdge)> = None;
+            view.for_each_neighbor(vid, |u, w, tag| {
+                let du = prev[u as usize];
+                if du == INF {
+                    return;
+                }
+                let nd = du + w;
+                if nd >= prev[v] {
+                    return;
+                }
+                let cand = (
+                    nd,
+                    ParentEdge {
+                        parent: u,
+                        weight: w,
+                        tag,
+                    },
+                );
+                best = Some(match best.take() {
+                    None => cand,
+                    Some(cur) => min_candidate(cur, cand),
+                });
+            });
+            best
+        });
+        let mut changed = false;
+        for v in 0..n {
+            if let Some((nd, pe)) = updates[v] {
+                dist[v] = nd;
+                parent[v] = Some(pe);
+                changed = true;
+            }
+        }
+        rounds_run = round;
+        if !changed {
+            converged_at = Some(round);
+            break;
+        }
+    }
+    BellmanFordResult {
+        dist,
+        parent,
+        rounds_run,
+        converged_at,
+    }
+}
+
+/// Total order on relaxation candidates: distance, then parent id, then base
+/// edges before overlay, then overlay index. Deterministic tie-breaking.
+#[inline]
+fn min_candidate(
+    a: (Weight, ParentEdge),
+    b: (Weight, ParentEdge),
+) -> (Weight, ParentEdge) {
+    let ka = cand_key(&a);
+    let kb = cand_key(&b);
+    if kb < ka {
+        b
+    } else {
+        a
+    }
+}
+
+#[inline]
+fn cand_key(c: &(Weight, ParentEdge)) -> (u64, VId, u8, u32) {
+    let (d, pe) = c;
+    let (layer, idx) = match pe.tag {
+        EdgeTag::Base => (0u8, 0u32),
+        EdgeTag::Extra(i) => (1u8, i),
+    };
+    (d.to_bits(), pe.parent, layer, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgraph::exact;
+    use pgraph::gen;
+    use pgraph::Graph;
+
+    #[test]
+    fn hop_limit_respected() {
+        // square: 0-1-2-3 light path, 0-3 heavy chord
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)])
+            .unwrap();
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r1 = bellman_ford(&view, &[0], 1, &mut l);
+        assert_eq!(r1.dist[3], 10.0);
+        let r3 = bellman_ford(&view, &[0], 3, &mut l);
+        assert_eq!(r3.dist[3], 3.0);
+        assert_eq!(r3.hops_to(3), Some(3));
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let g = gen::gnm_connected(100, 300, 9, 1.0, 6.0);
+        let view = UnionView::base_only(&g);
+        for hops in [1, 2, 5, 100] {
+            let mut l = Ledger::new();
+            let par = bellman_ford(&view, &[0], hops, &mut l);
+            let seq = exact::bellman_ford_hops(&view, &[0], hops);
+            assert_eq!(par.dist, seq, "hops={hops}");
+        }
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = gen::path(9);
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford(&view, &[0, 8], 10, &mut l);
+        assert_eq!(r.dist[4], 4.0);
+        assert_eq!(r.dist[6], 2.0);
+    }
+
+    #[test]
+    fn convergence_detection() {
+        let g = gen::path(5);
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford(&view, &[0], 100, &mut l);
+        // path of 4 edges converges after round 5 sees no change
+        assert_eq!(r.converged_at, Some(5));
+        assert_eq!(r.rounds_run, 5);
+    }
+
+    #[test]
+    fn overlay_edges_take_part_and_are_tagged() {
+        let g = gen::path(5); // 0-1-2-3-4
+        let extra = vec![(0u32, 4u32, 1.5)];
+        let view = UnionView::with_extra(&g, &extra);
+        let mut l = Ledger::new();
+        let r = bellman_ford(&view, &[0], 2, &mut l);
+        assert_eq!(r.dist[4], 1.5);
+        let pe = r.parent[4].unwrap();
+        assert_eq!(pe.tag, EdgeTag::Extra(0));
+        assert_eq!(pe.parent, 0);
+    }
+
+    #[test]
+    fn parent_tree_is_consistent() {
+        let g = gen::gnm_connected(80, 240, 4, 1.0, 4.0);
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford(&view, &[7], 80, &mut l);
+        for v in 0..80u32 {
+            if v == 7 {
+                assert!(r.parent[v as usize].is_none());
+                continue;
+            }
+            let pe = r.parent[v as usize].expect("connected");
+            // dist[v] == dist[parent] + w  (tree realizes the distances)
+            let expect = r.dist[pe.parent as usize] + pe.weight;
+            assert!((r.dist[v as usize] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ledger_charges_per_round() {
+        let g = gen::path(4);
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford(&view, &[0], 2, &mut l);
+        assert_eq!(r.rounds_run, 2);
+        assert_eq!(l.depth(), 2);
+        assert_eq!(l.work(), 2 * (2 * 3 + 4));
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0)]).unwrap();
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford(&view, &[0], 10, &mut l);
+        assert_eq!(r.dist[2], INF);
+        assert_eq!(r.hops_to(2), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! The PRAM work/depth ledger.
+//!
+//! The paper's complexity claims (Theorems 3.7, 3.8, 4.6, C.2, C.3, D.2) are
+//! statements about *counted* work and depth in the CREW PRAM model. The
+//! [`Ledger`] accumulates these counts as the algorithms run. Control flow in
+//! this workspace is sequential between synchronous rounds (exactly like a
+//! PRAM program's global clock), so the ledger is plain `&mut` state —
+//! deterministic by construction and free of atomics on the hot path.
+
+/// Accumulates PRAM work/depth, plus the maximum per-round work, which is the
+/// number of processors a literal PRAM execution would need (work divided by
+/// rounds is a lower bound; the max concurrent width is the honest figure).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ledger {
+    work: u64,
+    depth: u64,
+    max_width: u64,
+}
+
+impl Ledger {
+    /// Fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total work counted so far.
+    #[inline]
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Total depth (number of synchronous rounds) counted so far.
+    #[inline]
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Maximum work charged in any single round — the processor count a
+    /// literal PRAM realization would need (§1.5.1 allocates `O(n^ρ)`
+    /// processors per edge/vertex; this reports what was actually used).
+    #[inline]
+    pub fn max_width(&self) -> u64 {
+        self.max_width
+    }
+
+    /// Charge one synchronous round that performs `work` operations in
+    /// parallel.
+    #[inline]
+    pub fn step(&mut self, work: u64) {
+        self.depth += 1;
+        self.work += work;
+        self.max_width = self.max_width.max(work);
+    }
+
+    /// Charge `rounds` synchronous rounds each performing `work_per_round`
+    /// operations.
+    #[inline]
+    pub fn steps(&mut self, rounds: u64, work_per_round: u64) {
+        if rounds == 0 {
+            return;
+        }
+        self.depth += rounds;
+        self.work += rounds * work_per_round;
+        self.max_width = self.max_width.max(work_per_round);
+    }
+
+    /// Charge a parallel sort of `m` items: depth `⌈log2 m⌉`, work
+    /// `m·⌈log2 m⌉` — the AKS \[AKS83\] accounting the paper uses
+    /// (Appendix A: "sorting it … requires O(log n) time").
+    pub fn sort(&mut self, m: u64) {
+        if m <= 1 {
+            return;
+        }
+        let lg = ceil_log2_u64(m);
+        self.depth += lg;
+        self.work += m * lg;
+        self.max_width = self.max_width.max(m);
+    }
+
+    /// Charge a prefix-sum/scan over `m` items: depth `⌈log2 m⌉`, work `m`.
+    pub fn scan(&mut self, m: u64) {
+        if m <= 1 {
+            return;
+        }
+        self.depth += ceil_log2_u64(m);
+        self.work += m;
+        self.max_width = self.max_width.max(m);
+    }
+
+    /// Charge a binary search by each of `m` processors over a length-`s`
+    /// array: depth `⌈log2 s⌉`, work `m·⌈log2 s⌉` (§4.1's peeling uses this).
+    pub fn binary_search(&mut self, m: u64, s: u64) {
+        if s <= 1 || m == 0 {
+            self.step(m.max(1));
+            return;
+        }
+        let lg = ceil_log2_u64(s);
+        self.depth += lg;
+        self.work += m * lg;
+        self.max_width = self.max_width.max(m);
+    }
+
+    /// Merge another ledger *sequentially after* this one (its rounds happen
+    /// after ours): depths add, works add.
+    pub fn absorb_sequential(&mut self, other: &Ledger) {
+        self.depth += other.depth;
+        self.work += other.work;
+        self.max_width = self.max_width.max(other.max_width);
+    }
+
+    /// Merge another ledger that ran *in parallel with* this one (e.g. the
+    /// per-scale hopsets of Appendix C run concurrently): depth is the max,
+    /// work adds.
+    pub fn absorb_parallel(&mut self, other: &Ledger) {
+        self.depth = self.depth.max(other.depth);
+        self.work += other.work;
+        self.max_width = self.max_width.max(other.max_width);
+    }
+
+    /// Snapshot of (work, depth).
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.work, self.depth)
+    }
+}
+
+#[inline]
+fn ceil_log2_u64(x: u64) -> u64 {
+    debug_assert!(x >= 1);
+    (u64::BITS - (x - 1).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_accounting() {
+        let mut l = Ledger::new();
+        l.step(10);
+        l.step(4);
+        assert_eq!(l.work(), 14);
+        assert_eq!(l.depth(), 2);
+        assert_eq!(l.max_width(), 10);
+    }
+
+    #[test]
+    fn steps_bulk() {
+        let mut l = Ledger::new();
+        l.steps(5, 3);
+        assert_eq!((l.work(), l.depth()), (15, 5));
+        l.steps(0, 100);
+        assert_eq!((l.work(), l.depth()), (15, 5));
+    }
+
+    #[test]
+    fn sort_charges_aks_cost() {
+        let mut l = Ledger::new();
+        l.sort(8);
+        assert_eq!(l.depth(), 3);
+        assert_eq!(l.work(), 24);
+        let mut l2 = Ledger::new();
+        l2.sort(1);
+        assert_eq!(l2.snapshot(), (0, 0));
+        let mut l3 = Ledger::new();
+        l3.sort(9); // ceil(log2 9) = 4
+        assert_eq!(l3.depth(), 4);
+        assert_eq!(l3.work(), 36);
+    }
+
+    #[test]
+    fn scan_cost() {
+        let mut l = Ledger::new();
+        l.scan(1024);
+        assert_eq!(l.depth(), 10);
+        assert_eq!(l.work(), 1024);
+    }
+
+    #[test]
+    fn binary_search_cost() {
+        let mut l = Ledger::new();
+        l.binary_search(100, 16);
+        assert_eq!(l.depth(), 4);
+        assert_eq!(l.work(), 400);
+    }
+
+    #[test]
+    fn absorb_modes() {
+        let mut a = Ledger::new();
+        a.step(5);
+        let mut b = Ledger::new();
+        b.steps(3, 2);
+        let mut seq = a.clone();
+        seq.absorb_sequential(&b);
+        assert_eq!(seq.depth(), 4);
+        assert_eq!(seq.work(), 11);
+        let mut par = a.clone();
+        par.absorb_parallel(&b);
+        assert_eq!(par.depth(), 3);
+        assert_eq!(par.work(), 11);
+    }
+}

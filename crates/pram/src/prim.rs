@@ -1,0 +1,153 @@
+//! Deterministic data-parallel helpers.
+//!
+//! Thin wrappers over rayon that (a) keep results in input order, so output
+//! never depends on scheduling, and (b) fall back to sequential execution for
+//! small inputs, where rayon's overhead dominates (perf-book: parallelize hot
+//! code only).
+
+use rayon::prelude::*;
+
+/// Inputs shorter than this run sequentially.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Map every element, preserving order. Deterministic regardless of thread
+/// count.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync + Send) -> Vec<U> {
+    if items.len() < PAR_THRESHOLD {
+        items.iter().map(f).collect()
+    } else {
+        items.par_iter().map(f).collect()
+    }
+}
+
+/// Map every index `0..n`, preserving order.
+pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync + Send) -> Vec<U> {
+    if n < PAR_THRESHOLD {
+        (0..n).map(f).collect()
+    } else {
+        (0..n).into_par_iter().map(f).collect()
+    }
+}
+
+/// Overwrite `out[i] = f(i)` in parallel.
+pub fn par_fill<U: Send + Sync>(out: &mut [U], f: impl Fn(usize) -> U + Sync + Send) {
+    if out.len() < PAR_THRESHOLD {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+    } else {
+        out.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = f(i));
+    }
+}
+
+/// Minimum element index by a total-order key, ties to the smallest index —
+/// an order-independent (hence deterministic) reduction.
+pub fn par_argmin_by_key<T: Sync, K: Ord + Send>(
+    items: &[T],
+    key: impl Fn(&T) -> K + Sync + Send,
+) -> Option<usize> {
+    if items.is_empty() {
+        return None;
+    }
+    let pick = |a: (usize, K), b: (usize, K)| -> (usize, K) {
+        match a.1.cmp(&b.1) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => {
+                if a.0 <= b.0 {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    };
+    if items.len() < PAR_THRESHOLD {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, key(t)))
+            .reduce(pick)
+            .map(|(i, _)| i)
+    } else {
+        items
+            .par_iter()
+            .enumerate()
+            .map(|(i, t)| (i, key(t)))
+            .reduce_with(pick)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Sum of `f(i)` over `0..n` (u64) — order-independent.
+pub fn par_sum_range(n: usize, f: impl Fn(usize) -> u64 + Sync + Send) -> u64 {
+    if n < PAR_THRESHOLD {
+        (0..n).map(f).sum()
+    } else {
+        (0..n).into_par_iter().map(f).sum()
+    }
+}
+
+/// `true` if `f(i)` holds for any `i in 0..n` — order-independent.
+pub fn par_any_range(n: usize, f: impl Fn(usize) -> bool + Sync + Send) -> bool {
+    if n < PAR_THRESHOLD {
+        (0..n).any(f)
+    } else {
+        (0..n).into_par_iter().any(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let out = par_map(&v, |x| x * 2);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[9999], 19998);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn map_range_matches_sequential() {
+        let big = par_map_range(20_000, |i| i as u64 * 3);
+        let small = par_map_range(10, |i| i as u64 * 3);
+        assert_eq!(big[12345], 12345 * 3);
+        assert_eq!(small, vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27]);
+    }
+
+    #[test]
+    fn fill_in_place() {
+        let mut v = vec![0u64; 5000];
+        par_fill(&mut v, |i| (i as u64).pow(2) % 97);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i as u64).pow(2) % 97);
+        }
+    }
+
+    #[test]
+    fn argmin_ties_to_smallest_index() {
+        let v = vec![3u32, 1, 5, 1, 2];
+        assert_eq!(par_argmin_by_key(&v, |&x| x), Some(1));
+        let empty: Vec<u32> = vec![];
+        assert_eq!(par_argmin_by_key(&empty, |&x| x), None);
+        // Large input exercising the parallel path.
+        let big: Vec<u64> = (0..50_000).map(|i| (i * 2654435761) % 1000).collect();
+        let seq = big
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &x)| (x, *i))
+            .map(|(i, _)| i);
+        assert_eq!(par_argmin_by_key(&big, |&x| x), seq);
+    }
+
+    #[test]
+    fn sum_and_any() {
+        assert_eq!(par_sum_range(100, |i| i as u64), 4950);
+        assert_eq!(par_sum_range(100_000, |_| 1), 100_000);
+        assert!(par_any_range(10_000, |i| i == 9_999));
+        assert!(!par_any_range(10_000, |i| i == 10_000));
+    }
+}

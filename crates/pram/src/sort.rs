@@ -1,0 +1,80 @@
+//! Instrumented parallel sorting — the AKS-network stand-in.
+//!
+//! The paper sorts arrays in O(log n) PRAM depth by invoking the AKS sorting
+//! network \[AKS83\] (Appendix A, Algorithm 3; §4.1's peeling sorts the global
+//! array M). AKS is a purely theoretical device; every implementation-minded
+//! treatment substitutes a practical sort and keeps the counted cost. We run
+//! rayon's *stable* parallel merge sort (stability ⇒ output independent of
+//! thread count even with equal keys) and charge depth `⌈log2 m⌉`, work
+//! `m·⌈log2 m⌉` on the [`Ledger`].
+
+use crate::Ledger;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Inputs shorter than this sort sequentially (perf-book: avoid parallel
+/// overhead on small inputs).
+const PAR_SORT_THRESHOLD: usize = 1 << 13;
+
+/// Sort `v` by `cmp`, charging the PRAM cost to `ledger`.
+///
+/// `cmp` must be a total order. The sort is stable, so the result is uniquely
+/// determined by the input even when `cmp` has ties.
+pub fn sort_by<T: Send>(v: &mut [T], ledger: &mut Ledger, cmp: impl Fn(&T, &T) -> Ordering + Sync) {
+    ledger.sort(v.len() as u64);
+    if v.len() < PAR_SORT_THRESHOLD {
+        v.sort_by(cmp);
+    } else {
+        v.par_sort_by(cmp);
+    }
+}
+
+/// Sort by a key function (stable), charging the PRAM cost to `ledger`.
+pub fn sort_by_key<T: Send, K: Ord>(
+    v: &mut [T],
+    ledger: &mut Ledger,
+    key: impl Fn(&T) -> K + Sync,
+) {
+    ledger.sort(v.len() as u64);
+    if v.len() < PAR_SORT_THRESHOLD {
+        v.sort_by_key(key);
+    } else {
+        v.par_sort_by_key(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_charges() {
+        let mut v = vec![5, 3, 9, 1, 1, 7];
+        let mut l = Ledger::new();
+        sort_by(&mut v, &mut l, |a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 1, 3, 5, 7, 9]);
+        assert_eq!(l.depth(), 3); // ceil(log2 6)
+        assert_eq!(l.work(), 18);
+    }
+
+    #[test]
+    fn large_sort_matches_sequential() {
+        let mut v: Vec<u64> = (0..50_000).map(|i| (i * 2654435761u64) % 10_007).collect();
+        let mut expect = v.clone();
+        expect.sort();
+        let mut l = Ledger::new();
+        sort_by_key(&mut v, &mut l, |&x| x);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn stability_makes_ties_deterministic() {
+        // Pairs sharing a key must keep input order.
+        let mut v: Vec<(u32, u32)> = (0..20_000).map(|i| (i % 5, i)).collect();
+        let mut l = Ledger::new();
+        sort_by_key(&mut v, &mut l, |&(k, _)| k);
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the PRAM primitives against sequential references.
+
+use pgraph::{gen, Graph, UnionView, VId};
+use pram::{cc, jump, prim, scan, sort, Ledger};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (8usize..80, 0usize..3, any::<u64>())
+        .prop_map(|(n, d, seed)| gen::gnm(n, n * d, seed, 1.0, 9.0))
+}
+
+/// Sequential union-find reference for component labels (min id).
+fn ref_components(g: &Graph) -> Vec<VId> {
+    let n = g.num_vertices();
+    let mut label: Vec<VId> = (0..n as VId).collect();
+    let mut stack = Vec::new();
+    let mut seen = vec![false; n];
+    for s in 0..n as u32 {
+        if seen[s as usize] {
+            continue;
+        }
+        seen[s as usize] = true;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            label[u as usize] = s;
+            for (v, _) in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Shiloach–Vishkin labels match the DFS reference exactly.
+    #[test]
+    fn cc_matches_reference(g in arb_graph()) {
+        let mut l = Ledger::new();
+        let res = cc::connected_components(&g, &mut l);
+        prop_assert_eq!(res.label, ref_components(&g));
+    }
+
+    /// The spanning forest has exactly n - #components edges and connects
+    /// whatever the graph connects.
+    #[test]
+    fn forest_spans(g in arb_graph()) {
+        let mut l = Ledger::new();
+        let (res, forest) = cc::spanning_forest(&g, |_| true, &mut l);
+        prop_assert_eq!(forest.len(), g.num_vertices() - res.count);
+        let set: std::collections::HashSet<usize> = forest.iter().copied().collect();
+        let mut l2 = Ledger::new();
+        let res2 = cc::connected_components_filtered(&g, |e| set.contains(&e), &mut l2);
+        prop_assert_eq!(res.label, res2.label);
+    }
+
+    /// Prefix sums equal the sequential scan.
+    #[test]
+    fn scan_matches(xs in proptest::collection::vec(0u64..1000, 0..200)) {
+        let mut l = Ledger::new();
+        let (out, total) = scan::exclusive_prefix_sum(&xs, &mut l);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(out[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    /// Instrumented sort sorts, stably.
+    #[test]
+    fn sort_matches(mut xs in proptest::collection::vec((0u8..8, 0u32..1000), 0..300)) {
+        let mut expect = xs.clone();
+        expect.sort_by_key(|&(k, _)| k); // stable by construction
+        let mut l = Ledger::new();
+        sort::sort_by_key(&mut xs, &mut l, |&(k, _)| k);
+        prop_assert_eq!(xs, expect);
+    }
+
+    /// Pointer jumping computes exact root distances on random forests.
+    #[test]
+    fn jump_matches_walk(n in 2usize..200, seed in any::<u64>()) {
+        // Random forest: parent[v] < v (acyclic by construction).
+        let mut parent: Vec<VId> = vec![0; n];
+        let mut weight: Vec<f64> = vec![0.0; n];
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for v in 1..n {
+            // Some vertices are roots.
+            if rnd() % 5 == 0 {
+                parent[v] = v as VId;
+            } else {
+                parent[v] = (rnd() % v as u64) as VId;
+                weight[v] = (rnd() % 50 + 1) as f64;
+            }
+        }
+        let mut l = Ledger::new();
+        let (dist, root) = jump::pointer_jump_distances(&parent, &weight, &mut l);
+        for v in 0..n {
+            // Walk reference.
+            let mut cur = v;
+            let mut acc = 0.0;
+            while parent[cur] != cur as VId {
+                acc += weight[cur];
+                cur = parent[cur] as usize;
+            }
+            prop_assert!((dist[v] - acc).abs() < 1e-9, "v={v}");
+            prop_assert_eq!(root[v], cur as VId);
+        }
+    }
+
+    /// Parallel Bellman–Ford equals the sequential reference at every hop
+    /// bound, including over union views.
+    #[test]
+    fn bellman_ford_matches(g in arb_graph(), hops in 1usize..12, extra_w in 1.0f64..20.0) {
+        if g.num_vertices() < 3 { return Ok(()); }
+        let extra = vec![(0u32, (g.num_vertices() - 1) as u32, extra_w)];
+        let view = UnionView::with_extra(&g, &extra);
+        let mut l = Ledger::new();
+        let par = pram::bellman_ford(&view, &[0], hops, &mut l);
+        let seq = pgraph::exact::bellman_ford_hops(&view, &[0], hops);
+        prop_assert_eq!(par.dist, seq);
+    }
+
+    /// prim::par_argmin_by_key matches the sequential argmin with
+    /// smallest-index tie-breaking, at any size.
+    #[test]
+    fn argmin_matches(xs in proptest::collection::vec(0u32..50, 1..5000)) {
+        let expect = xs
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &x)| (x, *i))
+            .map(|(i, _)| i);
+        prop_assert_eq!(prim::par_argmin_by_key(&xs, |&x| x), expect);
+    }
+
+    /// Ledger arithmetic: sequential absorb adds both axes; parallel absorb
+    /// adds work, maxes depth.
+    #[test]
+    fn ledger_absorb_laws(steps_a in 0u64..50, steps_b in 0u64..50, w in 1u64..100) {
+        let mut a = Ledger::new();
+        a.steps(steps_a, w);
+        let mut b = Ledger::new();
+        b.steps(steps_b, w);
+        let mut s = a.clone();
+        s.absorb_sequential(&b);
+        prop_assert_eq!(s.depth(), steps_a + steps_b);
+        prop_assert_eq!(s.work(), (steps_a + steps_b) * w);
+        let mut p = a.clone();
+        p.absorb_parallel(&b);
+        prop_assert_eq!(p.depth(), steps_a.max(steps_b));
+        prop_assert_eq!(p.work(), (steps_a + steps_b) * w);
+    }
+}

@@ -1,0 +1,193 @@
+//! Approximate single- and multi-source shortest distances (Theorem 3.8).
+//!
+//! Once a `(1+ε, β)`-hopset `H` is built, a `β`-round Bellman–Ford over
+//! `G ∪ H` answers `(1+ε)`-approximate distances from any source; `|S|`
+//! explorations run in parallel for the multi-source problem (aMSSD),
+//! adding `O(|S|)` processors per vertex/edge and no extra depth.
+
+use hopset::{build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamError, ParamMode};
+use pgraph::{Graph, UnionView, VId, Weight};
+use pram::{bford, Ledger};
+use rayon::prelude::*;
+
+/// A built query engine: the graph plus its hopset.
+pub struct ApproxShortestPaths<'g> {
+    g: &'g Graph,
+    built: BuiltHopset,
+    overlay: Vec<(VId, VId, Weight)>,
+}
+
+/// Result of a multi-source (aMSSD) query.
+#[derive(Clone, Debug)]
+pub struct MultiSourceResult {
+    /// `dist[i][v]` = approximate distance from `sources[i]` to `v`.
+    pub dist: Vec<Vec<Weight>>,
+    /// The sources queried.
+    pub sources: Vec<VId>,
+    /// Combined PRAM cost: depth = max over explorations (they run in
+    /// parallel), work = sum.
+    pub ledger: Ledger,
+}
+
+impl<'g> ApproxShortestPaths<'g> {
+    /// Build with practical defaults (`ρ = 1/κ`, the setting of the SSSP
+    /// corollary after Theorem 3.8). `eps ∈ (0,1)`, `kappa ≥ 2`.
+    pub fn build(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
+        let params = HopsetParams::practical(
+            g.num_vertices().max(2),
+            eps,
+            kappa,
+            g.aspect_ratio_bound(),
+        )?;
+        Ok(Self::from_params(g, &params))
+    }
+
+    /// Build with explicit parameters (any mode).
+    pub fn with_params(
+        g: &'g Graph,
+        eps: f64,
+        kappa: usize,
+        rho: f64,
+        mode: ParamMode,
+        hop_cap: Option<usize>,
+    ) -> Result<Self, ParamError> {
+        let params = HopsetParams::new(
+            g.num_vertices().max(2),
+            eps,
+            kappa,
+            rho,
+            mode,
+            g.aspect_ratio_bound(),
+            hop_cap,
+        )?;
+        Ok(Self::from_params(g, &params))
+    }
+
+    /// Build from pre-derived parameters.
+    pub fn from_params(g: &'g Graph, params: &HopsetParams) -> Self {
+        let built = build_hopset(g, params, BuildOptions::default());
+        let overlay = built.overlay();
+        ApproxShortestPaths { g, built, overlay }
+    }
+
+    /// The underlying hopset and construction report.
+    pub fn built(&self) -> &BuiltHopset {
+        &self.built
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// The hop budget queries run with.
+    pub fn query_hops(&self) -> usize {
+        self.built.params.query_hops
+    }
+
+    /// `(1+ε)`-approximate distances from one source (aSSSD): a `β`-round
+    /// Bellman–Ford over `G ∪ H`.
+    pub fn distances_from(&self, source: VId) -> Vec<Weight> {
+        self.distances_from_with_ledger(source).0
+    }
+
+    /// Same, returning the query's PRAM cost.
+    pub fn distances_from_with_ledger(&self, source: VId) -> (Vec<Weight>, Ledger) {
+        let view = UnionView::with_extra(self.g, &self.overlay);
+        let mut ledger = Ledger::new();
+        let r = bford::bellman_ford(&view, &[source], self.query_hops(), &mut ledger);
+        (r.dist, ledger)
+    }
+
+    /// `(1+ε)`-approximate distances for all pairs in `S × V` (aMSSD,
+    /// Theorem 3.8): `|S|` independent `β`-round explorations, executed in
+    /// parallel (work adds, depth does not).
+    pub fn distances_multi(&self, sources: &[VId]) -> MultiSourceResult {
+        let view = UnionView::with_extra(self.g, &self.overlay);
+        let hops = self.query_hops();
+        let per_source: Vec<(Vec<Weight>, Ledger)> = sources
+            .par_iter()
+            .map(|&s| {
+                let mut ledger = Ledger::new();
+                let r = bford::bellman_ford(&view, &[s], hops, &mut ledger);
+                (r.dist, ledger)
+            })
+            .collect();
+        let mut ledger = Ledger::new();
+        let mut dist = Vec::with_capacity(sources.len());
+        for (d, l) in per_source {
+            ledger.absorb_parallel(&l);
+            dist.push(d);
+        }
+        MultiSourceResult {
+            dist,
+            sources: sources.to_vec(),
+            ledger,
+        }
+    }
+
+    /// Nearest-source distances (a single multi-source exploration): the
+    /// "forest" flavor of aMSSD used e.g. for facility-location style
+    /// queries.
+    pub fn distances_to_nearest(&self, sources: &[VId]) -> Vec<Weight> {
+        let view = UnionView::with_extra(self.g, &self.overlay);
+        let mut ledger = Ledger::new();
+        bford::bellman_ford(&view, sources, self.query_hops(), &mut ledger).dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgraph::exact::dijkstra;
+    use pgraph::{gen, INF};
+
+    #[test]
+    fn sssd_respects_stretch() {
+        let g = gen::gnm_connected(120, 360, 6, 1.0, 9.0);
+        let asp = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+        let d = asp.distances_from(17);
+        let exact = dijkstra(&g, 17).dist;
+        for v in 0..120 {
+            assert!(d[v] >= exact[v] - 1e-6 * exact[v].max(1.0));
+            assert!(d[v] <= 1.25 * exact[v] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_source_matches_single_source() {
+        let g = gen::road_grid(10, 10, 4, 1.0, 5.0);
+        let asp = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+        let sources = vec![0u32, 37, 99];
+        let multi = asp.distances_multi(&sources);
+        for (i, &s) in sources.iter().enumerate() {
+            let single = asp.distances_from(s);
+            assert_eq!(multi.dist[i], single, "source {s}");
+        }
+        // Depth of the parallel batch equals the max single depth.
+        let (_, l) = asp.distances_from_with_ledger(0);
+        assert!(multi.ledger.depth() >= l.depth());
+        assert!(multi.ledger.work() >= 3 * l.work() / 2);
+    }
+
+    #[test]
+    fn nearest_source_semantics() {
+        let g = gen::path(30);
+        let asp = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+        let d = asp.distances_to_nearest(&[0, 29]);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[29], 0.0);
+        assert!(d[15] <= 15.0 * 1.25 + 1e-9);
+        assert!(d[15] >= 14.0 - 1e-9);
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_infinite() {
+        let g = Graph::from_edges(5, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let asp = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+        let d = asp.distances_from(0);
+        assert_eq!(d[3], INF);
+        assert_eq!(d[4], INF);
+        assert!(d[2].is_finite());
+    }
+}

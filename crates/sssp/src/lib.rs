@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # sssp — (1+ε)-approximate shortest paths from deterministic hopsets
+//!
+//! The application layer of the reproduction: Theorem 3.8 (approximate
+//! single-/multi-source shortest **distances**), Theorem 4.6 (approximate
+//! shortest-path **trees**), and Theorems C.3/D.2 (the same without any
+//! aspect-ratio assumption), plus the baselines the experiments compare
+//! against and the stretch-measurement utilities.
+//!
+//! ```
+//! use pgraph::gen;
+//! use sssp::ApproxShortestPaths;
+//!
+//! let g = gen::gnm_connected(128, 384, 3, 1.0, 8.0);
+//! let asp = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+//! let d = asp.distances_from(0);
+//! let exact = pgraph::exact::dijkstra(&g, 0).dist;
+//! for v in 0..128 {
+//!     assert!(d[v] >= exact[v] - 1e-9);
+//!     assert!(d[v] <= 1.25 * exact[v] + 1e-9);
+//! }
+//! ```
+
+pub mod assd;
+pub mod baseline;
+pub mod delta_stepping;
+pub mod eval;
+pub mod spt;
+
+pub use assd::{ApproxShortestPaths, MultiSourceResult};
+pub use delta_stepping::{delta_stepping, DeltaSteppingResult};
+pub use eval::{stretch_vs_hops, HopCurvePoint};
+pub use spt::ApproxSptEngine;

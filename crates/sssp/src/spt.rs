@@ -1,0 +1,107 @@
+//! Approximate shortest-path **trees** (Theorems 4.6 and D.2).
+//!
+//! Thin application wrapper over `hopset::path_report`: builds the
+//! path-reporting hopset once and answers SPT queries for any root.
+
+use hopset::multi_scale::{build_hopset, BuildOptions, BuiltHopset};
+use hopset::params::{HopsetParams, ParamError, ParamMode};
+use hopset::path_report::{build_spt, build_spt_reduced, SptResult};
+use hopset::reduction::{build_reduced_hopset, ReducedHopset};
+use pgraph::{Graph, VId};
+
+/// Which pipeline backs the engine.
+enum Backend {
+    /// §2/§4: bounded aspect ratio, plain scales (Theorem 4.6).
+    Plain(BuiltHopset),
+    /// Appendix C/D: weight-reduced (Theorem D.2).
+    Reduced(ReducedHopset),
+}
+
+/// A reusable `(1+ε)`-SPT query engine.
+pub struct ApproxSptEngine<'g> {
+    g: &'g Graph,
+    backend: Backend,
+}
+
+impl<'g> ApproxSptEngine<'g> {
+    /// Build on the plain pipeline (fine for `Λ = poly(n)`; Theorem 4.6).
+    pub fn build(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
+        let params = HopsetParams::practical(
+            g.num_vertices().max(2),
+            eps,
+            kappa,
+            g.aspect_ratio_bound(),
+        )?;
+        let built = build_hopset(g, &params, BuildOptions { record_paths: true });
+        Ok(ApproxSptEngine {
+            g,
+            backend: Backend::Plain(built),
+        })
+    }
+
+    /// Build through the Klein–Sairam reduction (any aspect ratio;
+    /// Theorem D.2).
+    pub fn build_reduced(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
+        let rho = (1.0 / kappa as f64).min(0.499_999);
+        let reduced = build_reduced_hopset(
+            g,
+            eps,
+            kappa,
+            rho,
+            ParamMode::Practical,
+            BuildOptions { record_paths: true },
+        )?;
+        Ok(ApproxSptEngine {
+            g,
+            backend: Backend::Reduced(reduced),
+        })
+    }
+
+    /// Number of hopset edges backing the engine.
+    pub fn hopset_size(&self) -> usize {
+        match &self.backend {
+            Backend::Plain(b) => b.hopset.len(),
+            Backend::Reduced(r) => r.hopset.len(),
+        }
+    }
+
+    /// Extract the `(1+ε)`-SPT rooted at `source`.
+    pub fn spt(&self, source: VId) -> SptResult {
+        match &self.backend {
+            Backend::Plain(b) => build_spt(self.g, b, source),
+            Backend::Reduced(r) => build_spt_reduced(self.g, r, source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopset::path_report::validate_spt;
+    use pgraph::gen;
+
+    #[test]
+    fn plain_engine_produces_valid_spts() {
+        let g = gen::clique_chain(4, 7, 2.0);
+        let eng = ApproxSptEngine::build(&g, 0.25, 4).unwrap();
+        for src in [0u32, 13, 27] {
+            let spt = eng.spt(src);
+            let val = validate_spt(&g, &spt);
+            assert_eq!(val.non_graph_edges, 0);
+            assert_eq!(val.missing, 0);
+            assert!(val.max_stretch <= 1.25 + 1e-9, "src {src}: {val:?}");
+        }
+    }
+
+    #[test]
+    fn reduced_engine_handles_huge_weights() {
+        let g = gen::exponential_path(28, 3.0);
+        let eng = ApproxSptEngine::build_reduced(&g, 0.5, 4).unwrap();
+        let spt = eng.spt(0);
+        let val = validate_spt(&g, &spt);
+        assert_eq!(val.non_graph_edges, 0);
+        assert_eq!(val.missing, 0);
+        assert!(val.max_stretch <= 1.5 + 1e-9, "{val:?}");
+        assert!(eng.hopset_size() > 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion bench: hopset query vs the baselines — sequential Dijkstra
+//! (exact) and bare hop-limited Bellman–Ford (the E10 comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgraph::{exact, gen, UnionView};
+use pram::Ledger;
+use sssp::ApproxShortestPaths;
+use std::hint::black_box;
+
+fn bench_query_vs_baselines(c: &mut Criterion) {
+    let n = 4096usize;
+    let g = gen::road_grid(64, 64, 7, 1.0, 10.0);
+    let engine = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+
+    let mut group = c.benchmark_group("baselines/road-grid-4096");
+    group.sample_size(20);
+    group.bench_function("hopset-query", |b| {
+        b.iter(|| black_box(engine.distances_from(0)))
+    });
+    group.bench_function("dijkstra-exact", |b| {
+        b.iter(|| black_box(exact::dijkstra(&g, 0)))
+    });
+    group.bench_function("bare-bf-to-convergence", |b| {
+        b.iter(|| {
+            let view = UnionView::base_only(&g);
+            let mut ledger = Ledger::new();
+            black_box(pram::bellman_ford(&view, &[0], n, &mut ledger))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bf_round_counts(c: &mut Criterion) {
+    // Not a timing comparison: demonstrates the *round* (depth) advantage.
+    // The bare path graph needs n-1 rounds; G ∪ H needs the β budget.
+    let g = gen::path(4096);
+    let engine = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+    let overlay = engine.built().overlay();
+
+    let mut group = c.benchmark_group("baselines/path-4096-rounds");
+    group.sample_size(10);
+    group.bench_function("bare-bf-full-rounds", |b| {
+        b.iter(|| {
+            let view = UnionView::base_only(&g);
+            let mut ledger = Ledger::new();
+            black_box(pram::bellman_ford(&view, &[0], 4096, &mut ledger))
+        })
+    });
+    group.bench_function("hopset-bf-beta-rounds", |b| {
+        b.iter(|| {
+            let view = UnionView::with_extra(&g, &overlay);
+            let mut ledger = Ledger::new();
+            black_box(pram::bellman_ford(
+                &view,
+                &[0],
+                engine.query_hops(),
+                &mut ledger,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_vs_baselines, bench_bf_round_counts);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: thread scaling of the construction — the wall-clock
+//! counterpart of the PRAM parallelism claims (rayon work-stealing over the
+//! synchronous rounds). Results are identical across thread counts
+//! (determinism contract); only the wall clock changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopset::{build_hopset, BuildOptions, HopsetParams, ParamMode};
+use pgraph::gen;
+use std::hint::black_box;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let n = 2048usize;
+    let g = gen::gnm_connected(n, 4 * n, 7, 1.0, 16.0);
+    let p = HopsetParams::new(
+        n,
+        0.25,
+        4,
+        0.3,
+        ParamMode::Practical,
+        g.aspect_ratio_bound(),
+        None,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("scaling/threads-gnm-2048");
+    group.sample_size(10);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    for &threads in &[1usize, 2, 4, 8] {
+        if threads > max_threads {
+            continue;
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| black_box(build_hopset(&g, &p, BuildOptions::default()))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_thread_scaling(c: &mut Criterion) {
+    let n = 4096usize;
+    let g = gen::gnm_connected(n, 6 * n, 3, 1.0, 16.0);
+    let engine = sssp::ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+    let sources: Vec<u32> = (0..8).map(|i| (i * n / 8) as u32).collect();
+
+    let mut group = c.benchmark_group("scaling/amssd-threads");
+    group.sample_size(10);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    for &threads in &[1usize, 4, 8] {
+        if threads > max_threads {
+            continue;
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| black_box(engine.distances_multi(&sources))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_query_thread_scaling);
+criterion_main!(benches);

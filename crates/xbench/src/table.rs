@@ -1,0 +1,118 @@
+//! Minimal fixed-width table printer for experiment output.
+
+/// A simple table accumulator that prints aligned columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str("| ");
+                out.push_str(c);
+                out.push_str(&" ".repeat(width[i] - c.len() + 1));
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.headers);
+        for w in &width {
+            out.push('|');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("|\n");
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+
+    /// Print with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Format an f64 compactly.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format a usize with thousands separators.
+pub fn n(x: usize) -> String {
+    let s = x.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(0.25), "0.2500");
+        assert_eq!(f(1.5e7), "1.500e7");
+        assert_eq!(n(1234567), "1_234_567");
+        assert_eq!(n(42), "42");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

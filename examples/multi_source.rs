@@ -1,0 +1,55 @@
+//! Multi-source approximate distances (aMSSD, Theorem 3.8): one hopset,
+//! `|S|` parallel β-hop explorations — e.g. computing distances from every
+//! depot of a delivery fleet.
+//!
+//! ```sh
+//! cargo run --release --example multi_source
+//! ```
+
+use pram_sssp::prelude::*;
+
+fn main() {
+    let g = gen::geometric(600, 0.08, 11);
+    let g = if g.num_edges() == 0 {
+        gen::gnm_connected(600, 2400, 11, 1.0, 4.0)
+    } else {
+        g
+    };
+    println!("graph: n = {}, m = {}", g.num_vertices(), g.num_edges());
+
+    let engine = ApproxShortestPaths::build(&g, 0.25, 4).expect("valid parameters");
+
+    // A fleet of depots spread over the vertex set.
+    let depots: Vec<u32> = (0..8).map(|i| (i * g.num_vertices() / 8) as u32).collect();
+    println!("depots: {depots:?}");
+
+    let t0 = std::time::Instant::now();
+    let multi = engine.distances_multi(&depots);
+    println!(
+        "aMSSD: {} explorations in {:?} (PRAM depth {}, work {})",
+        depots.len(),
+        t0.elapsed(),
+        multi.ledger.depth(),
+        multi.ledger.work()
+    );
+
+    // Validate each row against the exact oracle.
+    for (i, &s) in depots.iter().enumerate() {
+        let exact = exact::dijkstra(&g, s).dist;
+        let mut worst: f64 = 1.0;
+        #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+        for v in 0..g.num_vertices() {
+            if exact[v] > 0.0 && exact[v].is_finite() && multi.dist[i][v].is_finite() {
+                worst = worst.max(multi.dist[i][v] / exact[v]);
+            }
+        }
+        println!("depot {s}: max stretch {worst:.4}");
+        assert!(worst <= 1.25 + 1e-9);
+    }
+
+    // Nearest-depot distances in one shot (single multi-source BF).
+    let nearest = engine.distances_to_nearest(&depots);
+    let covered = nearest.iter().filter(|d| d.is_finite()).count();
+    println!("nearest-depot query covers {covered}/{} vertices", g.num_vertices());
+    println!("OK");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a deterministic (1+ε)-hopset and answer approximate
+//! shortest-distance queries (Theorems 3.7 + 3.8).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pram_sssp::prelude::*;
+
+fn main() {
+    // A moderately sized weighted random graph.
+    let n = 1024;
+    let g = gen::gnm_connected(n, 4 * n, 42, 1.0, 16.0);
+    println!("graph: n = {}, m = {}", g.num_vertices(), g.num_edges());
+
+    // Build the deterministic hopset engine: target stretch 1+ε with ε =
+    // 0.25, sparsity parameter κ = 4 (hopset size O(n^{1+1/κ}) per scale).
+    let t0 = std::time::Instant::now();
+    let engine = ApproxShortestPaths::build(&g, 0.25, 4).expect("valid parameters");
+    let built = engine.built();
+    println!(
+        "hopset: {} edges over scales {}..={}, built in {:?}",
+        built.hopset.len(),
+        built.k0,
+        built.lambda,
+        t0.elapsed()
+    );
+    println!(
+        "PRAM cost of construction: work = {}, depth = {} (polylog rounds)",
+        built.ledger.work(),
+        built.ledger.depth()
+    );
+
+    // Query: β-hop Bellman–Ford over G ∪ H.
+    let source = 0;
+    let t1 = std::time::Instant::now();
+    let approx = engine.distances_from(source);
+    println!(
+        "query: β = {} hops, answered in {:?}",
+        engine.query_hops(),
+        t1.elapsed()
+    );
+
+    // Verify the (1+ε) contract against the exact oracle.
+    let exact = exact::dijkstra(&g, source).dist;
+    let mut max_stretch: f64 = 1.0;
+    for v in 0..g.num_vertices() {
+        assert!(
+            approx[v] >= exact[v] - 1e-6,
+            "hopsets never shorten distances (Lemmas 2.3/2.9)"
+        );
+        if exact[v] > 0.0 && exact[v].is_finite() {
+            max_stretch = max_stretch.max(approx[v] / exact[v]);
+        }
+    }
+    println!("max observed stretch: {max_stretch:.4} (contract: ≤ 1.25)");
+    assert!(max_stretch <= 1.25 + 1e-9);
+    println!("OK");
+}

@@ -1,0 +1,65 @@
+//! Road-network-style scenario: hop-limited queries on a large weighted
+//! grid — the setting where the hopset earns its keep, because plain
+//! Bellman–Ford needs Θ(hop diameter) rounds while `G ∪ H` needs β.
+//!
+//! ```sh
+//! cargo run --release --example road_grid
+//! ```
+
+use pram_sssp::prelude::*;
+use sssp::baseline;
+
+fn main() {
+    // A 64×64 "road network": planar-ish, bounded degree, jittered weights.
+    let (rows, cols) = (64, 64);
+    let g = gen::road_grid(rows, cols, 7, 1.0, 10.0);
+    let n = g.num_vertices();
+    println!("road grid: {rows}×{cols}, n = {n}, m = {}", g.num_edges());
+
+    // How many Bellman-Ford rounds does the bare graph need?
+    let src = 0;
+    let plain_rounds = baseline::bf_rounds_to_converge(&g, src);
+    println!("plain Bellman–Ford rounds to converge: {plain_rounds}");
+
+    // Build the hopset engine.
+    let t0 = std::time::Instant::now();
+    let engine = ApproxShortestPaths::build(&g, 0.25, 4).expect("valid parameters");
+    println!(
+        "hopset: {} edges in {:?}; query hop budget β = {}",
+        engine.built().hopset.len(),
+        t0.elapsed(),
+        engine.query_hops()
+    );
+
+    // Approximate distances vs exact, from a corner (worst case for hops).
+    let approx = engine.distances_from(src);
+    let exact = exact::dijkstra(&g, src).dist;
+    #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+    let far = rows * cols - 1;
+    println!(
+        "corner-to-corner: exact = {:.1}, approx = {:.1} (ratio {:.4})",
+        exact[far],
+        approx[far],
+        approx[far] / exact[far]
+    );
+
+    let mut max_stretch: f64 = 1.0;
+    let mut mean = 0.0;
+    let mut cnt = 0;
+    for v in 0..n {
+        if exact[v] > 0.0 && exact[v].is_finite() {
+            let r = approx[v] / exact[v];
+            max_stretch = max_stretch.max(r);
+            mean += r;
+            cnt += 1;
+        }
+    }
+    println!(
+        "stretch over all {} pairs: max = {:.4}, mean = {:.4}",
+        cnt,
+        max_stretch,
+        mean / cnt as f64
+    );
+    assert!(max_stretch <= 1.25 + 1e-9, "stretch contract violated");
+    println!("OK");
+}

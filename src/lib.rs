@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! # pram-sssp — Deterministic PRAM approximate shortest paths
+//!
+//! A comprehensive Rust reproduction of
+//!
+//! > Michael Elkin and Shaked Matar.
+//! > *Deterministic PRAM Approximate Shortest Paths in Polylogarithmic Time
+//! > and Slightly Super-Linear Work.* SPAA 2021 (arXiv:2009.14729).
+//!
+//! The paper gives the first **deterministic** parallel (PRAM) algorithm
+//! computing `(1+ε)`-approximate single-source shortest paths in
+//! polylogarithmic time with `O(|E|·n^ρ)` work, built on the first
+//! efficient deterministic parallel construction of **hopsets**. The
+//! derandomization engine is the replacement of random sampling in the
+//! superclustering-and-interconnection framework by deterministic
+//! `(3, 2·log n)`-**ruling sets** over virtual cluster graphs.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`pgraph`] — graphs, generators, exact oracles;
+//! * [`pram`] — the PRAM work/depth cost model and parallel primitives;
+//! * [`hopset`] — the paper's contribution: deterministic hopsets
+//!   (Theorem 3.7), the weight reduction (Theorem C.2), path reporting
+//!   (Theorems 4.6/D.2) and the randomized comparison baseline;
+//! * [`sssp`] — the applications: aSSSD/aMSSD (Theorem 3.8) and
+//!   `(1+ε)`-shortest-path trees.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pram_sssp::prelude::*;
+//!
+//! // A weighted graph (road-network-like grid).
+//! let g = pgraph::gen::road_grid(12, 12, 7, 1.0, 10.0);
+//!
+//! // Build the deterministic (1+ε)-hopset engine and query it.
+//! let engine = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+//! let approx = engine.distances_from(0);
+//!
+//! // Compare against the exact oracle: never below, at most (1+ε) above.
+//! let exact = pgraph::exact::dijkstra(&g, 0).dist;
+//! for v in 0..g.num_vertices() {
+//!     assert!(approx[v] >= exact[v] - 1e-9);
+//!     assert!(approx[v] <= 1.25 * exact[v] + 1e-9);
+//! }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md`/`EXPERIMENTS.md`
+//! for the reproduction methodology and measured results.
+
+pub use hopset;
+pub use pgraph;
+pub use pram;
+pub use sssp;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use hopset::{
+        build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamMode,
+    };
+    pub use hopset::path_report::{build_spt, validate_spt, SptResult};
+    pub use hopset::reduction::build_reduced_hopset;
+    pub use pgraph::{exact, gen, Graph, GraphBuilder, UnionView, INF};
+    pub use pram::Ledger;
+    pub use sssp::{delta_stepping, ApproxShortestPaths, ApproxSptEngine};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn umbrella_reexports_compose() {
+        let g = gen::path(16);
+        let engine = ApproxShortestPaths::build(&g, 0.5, 4).unwrap();
+        let d = engine.distances_from(0);
+        assert!((d[15] - 15.0).abs() <= 15.0 * 0.5 + 1e-9);
+    }
+}
