@@ -27,7 +27,7 @@ use crate::virtual_bfs::Explorer;
 use pgraph::{Graph, UnionView, VId};
 use pram::Ledger;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Outcome of the randomized construction.
 #[derive(Clone, Debug)]
@@ -120,7 +120,14 @@ fn build_scale(
 
         if i == params.ell {
             let m = ex.detect_neighbors(n_clusters, ledger);
-            interconnect_all(&part, &m, &(0..n_clusters as u32).collect::<Vec<_>>(), sp.k, i, hopset);
+            interconnect_all(
+                &part,
+                &m,
+                &(0..n_clusters as u32).collect::<Vec<_>>(),
+                sp.k,
+                i,
+                hopset,
+            );
             break;
         }
 

@@ -60,7 +60,11 @@ pub fn write_hopset(h: &Hopset, w: impl Write) -> Result<(), HopsetIoError> {
             Some(p) => p.to_string(),
             None => "-".to_string(),
         };
-        writeln!(out, "e {} {} {:e} {} {} {}", e.u, e.v, e.w, e.scale, kind, path)?;
+        writeln!(
+            out,
+            "e {} {} {:e} {} {} {}",
+            e.u, e.v, e.w, e.scale, kind, path
+        )?;
     }
     for p in &h.paths {
         write!(out, "p {}", p.links.len())?;
@@ -123,9 +127,13 @@ pub fn read_hopset(r: impl Read) -> Result<Hopset, HopsetIoError> {
         let u = next("u")?.parse().map_err(|_| perr(lineno, "bad u"))?;
         let v = next("v")?.parse().map_err(|_| perr(lineno, "bad v"))?;
         let w = next("w")?.parse().map_err(|_| perr(lineno, "bad w"))?;
-        let scale = next("scale")?.parse().map_err(|_| perr(lineno, "bad scale"))?;
+        let scale = next("scale")?
+            .parse()
+            .map_err(|_| perr(lineno, "bad scale"))?;
         let kind_tok = next("kind")?;
-        let phase: u8 = next("phase")?.parse().map_err(|_| perr(lineno, "bad phase"))?;
+        let phase: u8 = next("phase")?
+            .parse()
+            .map_err(|_| perr(lineno, "bad phase"))?;
         let kind = match kind_tok.as_str() {
             "S" => EdgeKind::Supercluster { phase },
             "I" => EdgeKind::Interconnect { phase },
@@ -192,7 +200,10 @@ pub fn read_hopset(r: impl Read) -> Result<Hopset, HopsetIoError> {
     for (i, e) in h.edges.iter().enumerate() {
         if let Some(p) = e.path {
             if p as usize >= h.paths.len() {
-                return Err(perr(lineno, &format!("edge {i} references missing path {p}")));
+                return Err(perr(
+                    lineno,
+                    &format!("edge {i} references missing path {p}"),
+                ));
             }
         }
     }
@@ -234,8 +245,15 @@ mod tests {
         let h2 = roundtrip(&h);
         assert_eq!(h.len(), h2.len());
         for (a, b) in h.edges.iter().zip(&h2.edges) {
-            assert_eq!((a.u, a.v, a.scale, a.kind, a.path), (b.u, b.v, b.scale, b.kind, b.path));
-            assert_eq!(a.w.to_bits(), b.w.to_bits(), "weights must round-trip exactly");
+            assert_eq!(
+                (a.u, a.v, a.scale, a.kind, a.path),
+                (b.u, b.v, b.scale, b.kind, b.path)
+            );
+            assert_eq!(
+                a.w.to_bits(),
+                b.w.to_bits(),
+                "weights must round-trip exactly"
+            );
         }
     }
 

@@ -67,12 +67,12 @@ pub mod store;
 pub mod validate;
 pub mod virtual_bfs;
 
+pub use io::{read_hopset, write_hopset};
 pub use multi_scale::{build_hopset, BuildOptions, BuiltHopset};
 pub use params::{DeltaSchedule, HopsetParams, ParamError, ParamMode, ScaleParams};
 pub use partition::{Cluster, ClusterMemory, Partition};
 pub use path::{MemEdge, MemoryPath};
 pub use ruling::{ruling_set, RulingTrace};
 pub use single_scale::{PhaseStats, ScaleReport};
-pub use io::{read_hopset, write_hopset};
 pub use store::{EdgeKind, Hopset, HopsetEdge};
 pub use virtual_bfs::Explorer;

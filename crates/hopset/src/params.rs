@@ -179,8 +179,7 @@ impl HopsetParams {
             ParamMode::Theory => {
                 // eq. (2) with constant 1:
                 // β = (log Λ · log n · (log κρ + 1/ρ) / ε)^ℓ
-                let base =
-                    log_lambda * log2n as f64 * ((kr.log2().max(0.0)) + 1.0 / rho) / eps;
+                let base = log_lambda * log2n as f64 * ((kr.log2().max(0.0)) + 1.0 / rho) / eps;
                 saturating_pow(base, ell as u32)
             }
             ParamMode::Practical => {
@@ -195,7 +194,9 @@ impl HopsetParams {
         };
 
         let cap = hop_cap.unwrap_or(usize::MAX);
-        let hop_limit = (2 * beta.min(usize::MAX / 2 - 1) + 1).min(n).min(cap.max(2));
+        let hop_limit = (2 * beta.min(usize::MAX / 2 - 1) + 1)
+            .min(n)
+            .min(cap.max(2));
         let query_hops = beta.min(n).min(cap.max(2));
 
         // σ (eq. 20): σ_0 = 0, σ_{i+1} = (4 log n + 1)σ_i + 2(2β+1) log n,
@@ -402,7 +403,10 @@ mod tests {
         // κρ < 1 is allowed: the exponential stage is empty (i0 < 0).
         let p = HopsetParams::new(16, 0.1, 4, 0.1, ParamMode::Practical, 4.0, None).unwrap();
         assert!(p.i0 < 0);
-        assert!(p.degrees.iter().all(|&d| d == (16f64.powf(0.1)).ceil() as usize));
+        assert!(p
+            .degrees
+            .iter()
+            .all(|&d| d == (16f64.powf(0.1)).ceil() as usize));
     }
 
     #[test]
@@ -473,8 +477,7 @@ mod tests {
         let sp = ScaleParams::derive(&p, 5, 0.0);
         assert_eq!(sp.radii[0], 0.0);
         for i in 0..=p.ell {
-            let expect =
-                (2.0 * sp.deltas[i] + 4.0 * sp.radii[i]) * p.log2n as f64 + sp.radii[i];
+            let expect = (2.0 * sp.deltas[i] + 4.0 * sp.radii[i]) * p.log2n as f64 + sp.radii[i];
             assert!((sp.radii[i + 1] - expect).abs() < 1e-6);
         }
         // Monotone increasing.

@@ -112,8 +112,11 @@ impl ClusterMemory {
     pub fn trivial(n: usize, record_paths: bool) -> ClusterMemory {
         ClusterMemory {
             weight: vec![0.0; n],
-            path: record_paths
-                .then(|| (0..n as VId).map(|v| Arc::new(MemoryPath::trivial(v))).collect()),
+            path: record_paths.then(|| {
+                (0..n as VId)
+                    .map(|v| Arc::new(MemoryPath::trivial(v)))
+                    .collect()
+            }),
         }
     }
 

@@ -270,7 +270,9 @@ fn peel_scale(
 
     // Sort M by (vertex, estimate) and let every vertex adopt its best
     // improving entry (§4.1 sorts and binary-searches; same cost charged).
-    psort::sort_by(&mut m_array, ledger, |a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    psort::sort_by(&mut m_array, ledger, |a, b| {
+        a.0.cmp(&b.0).then(a.1.cmp(&b.1))
+    });
     ledger.binary_search(n as u64, m_array.len().max(1) as u64);
     let mut i = 0;
     while i < m_array.len() {
@@ -383,7 +385,11 @@ mod tests {
         assert_eq!(val.weight_mismatches, 0);
         assert_eq!(val.distance_mismatches, 0);
         assert_eq!(val.missing, 0);
-        assert!(val.max_stretch <= 1.25 + 1e-9, "stretch {}", val.max_stretch);
+        assert!(
+            val.max_stretch <= 1.25 + 1e-9,
+            "stretch {}",
+            val.max_stretch
+        );
     }
 
     #[test]
@@ -393,7 +399,12 @@ mod tests {
         let spt = build_spt(&g, &built, 40);
         let val = validate_spt(&g, &spt);
         assert_eq!(
-            (val.non_graph_edges, val.weight_mismatches, val.distance_mismatches, val.missing),
+            (
+                val.non_graph_edges,
+                val.weight_mismatches,
+                val.distance_mismatches,
+                val.missing
+            ),
             (0, 0, 0, 0),
             "{val:?}"
         );
@@ -485,7 +496,13 @@ mod tests {
             None,
         )
         .unwrap();
-        let built = build_hopset(&g, &p, BuildOptions { record_paths: false });
+        let built = build_hopset(
+            &g,
+            &p,
+            BuildOptions {
+                record_paths: false,
+            },
+        );
         if built.hopset.is_empty() {
             // Ensure the assertion is actually exercised.
             panic!("record_paths");

@@ -575,9 +575,15 @@ mod tests {
         // Aspect ratio 4^22: far beyond what poly(n) scales would cover
         // comfortably; the reduction contracts aggressively instead.
         let g = gen::exponential_path(24, 4.0);
-        let r =
-            build_reduced_hopset(&g, 0.5, 4, 0.3, ParamMode::Practical, BuildOptions::default())
-                .unwrap();
+        let r = build_reduced_hopset(
+            &g,
+            0.5,
+            4,
+            0.3,
+            ParamMode::Practical,
+            BuildOptions::default(),
+        )
+        .unwrap();
         assert!(find_shortcut_violations(&g, &r.hopset).is_empty());
         let rep = measure_stretch(&g, &r.hopset, &[0, 12, 23], r.query_hops);
         assert_eq!(rep.undershoots, 0);
@@ -589,9 +595,15 @@ mod tests {
     fn level_aspect_ratios_are_bounded() {
         let g = gen::wide_weights(64, 128, 12, 5);
         let eps = 0.25;
-        let r =
-            build_reduced_hopset(&g, eps, 4, 0.3, ParamMode::Practical, BuildOptions::default())
-                .unwrap();
+        let r = build_reduced_hopset(
+            &g,
+            eps,
+            4,
+            0.3,
+            ParamMode::Practical,
+            BuildOptions::default(),
+        )
+        .unwrap();
         let n = g.num_vertices() as f64;
         for lvl in &r.levels {
             if lvl.edges == 0 {
@@ -612,9 +624,15 @@ mod tests {
     #[test]
     fn star_count_within_lemma_c1() {
         let g = gen::wide_weights(96, 200, 14, 9);
-        let r =
-            build_reduced_hopset(&g, 0.25, 4, 0.3, ParamMode::Practical, BuildOptions::default())
-                .unwrap();
+        let r = build_reduced_hopset(
+            &g,
+            0.25,
+            4,
+            0.3,
+            ParamMode::Practical,
+            BuildOptions::default(),
+        )
+        .unwrap();
         let n = g.num_vertices() as f64;
         assert!(
             (r.star_edges as f64) <= n * n.log2(),
@@ -668,12 +686,7 @@ mod tests {
         // path-reality checks are scale-agnostic.
         let errs: Vec<_> = crate::validate::check_memory_paths(&g, &r.hopset)
             .into_iter()
-            .filter(|e| {
-                !matches!(
-                    e,
-                    crate::validate::MemoryPathError::TooHeavy { .. }
-                )
-            })
+            .filter(|e| !matches!(e, crate::validate::MemoryPathError::TooHeavy { .. }))
             .collect();
         assert!(errs.is_empty(), "{errs:?}");
         // TooHeavy must not occur either: mapped weights budget the
@@ -690,9 +703,15 @@ mod tests {
         // With unit-ish weights nothing contracts; the reduction must agree
         // with the plain pipeline's guarantees.
         let g = gen::gnm_connected(64, 160, 13, 1.0, 4.0);
-        let r =
-            build_reduced_hopset(&g, 0.3, 4, 0.3, ParamMode::Practical, BuildOptions::default())
-                .unwrap();
+        let r = build_reduced_hopset(
+            &g,
+            0.3,
+            4,
+            0.3,
+            ParamMode::Practical,
+            BuildOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.star_edges, 0, "no contraction at unit-ish weights");
         let rep = measure_stretch(&g, &r.hopset, &[0, 32], r.query_hops);
         assert_eq!(rep.undershoots, 0);
@@ -702,9 +721,15 @@ mod tests {
     #[test]
     fn reduced_hopset_shortcuts_hops() {
         let g = gen::exponential_path(64, 2.0);
-        let r =
-            build_reduced_hopset(&g, 0.5, 4, 0.3, ParamMode::Practical, BuildOptions::default())
-                .unwrap();
+        let r = build_reduced_hopset(
+            &g,
+            0.5,
+            4,
+            0.3,
+            ParamMode::Practical,
+            BuildOptions::default(),
+        )
+        .unwrap();
         let overlay = r.hopset.overlay_all();
         let view = UnionView::with_extra(&g, &overlay);
         let cap = r.query_hops.min(32);

@@ -83,9 +83,9 @@ pub fn ruling_set(
         let before = alive.len();
         let killed: usize = b1.iter().filter(|&&c| det[c as usize].is_some()).count();
         alive.retain(|&c| {
-                let is_b1 = (ex.part.center(c) >> bit) & 1 == 1;
-                !(is_b1 && det[c as usize].is_some())
-            });
+            let is_b1 = (ex.part.center(c) >> bit) & 1 == 1;
+            !(is_b1 && det[c as usize].is_some())
+        });
         debug_assert_eq!(before - alive.len(), killed);
         if let Some(t) = trace.as_deref_mut() {
             t.levels.push(LevelStat {

@@ -216,8 +216,7 @@ fn interconnect(
     phase: usize,
     violations: &mut usize,
 ) -> usize {
-    let in_u: std::collections::HashSet<VId> =
-        u_set.iter().map(|&c| part.center(c)).collect();
+    let in_u: std::collections::HashSet<VId> = u_set.iter().map(|&c| part.center(c)).collect();
     // Collect directed proposals, dedup by unordered pair keeping the
     // lightest realized weight (floating-point sums may differ by ulps
     // between the two directions).
@@ -240,11 +239,7 @@ fn interconnect(
             proposals.push((a, b, w, ctx.record_paths.then_some(l)));
         }
     }
-    proposals.sort_by(|x, y| {
-        x.0.cmp(&y.0)
-            .then(x.1.cmp(&y.1))
-            .then(x.2.total_cmp(&y.2))
-    });
+    proposals.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)).then(x.2.total_cmp(&y.2)));
     proposals.dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
     let count = proposals.len();
     for (u, v, w, label) in proposals {
@@ -257,9 +252,7 @@ fn interconnect(
             v,
             w,
             scale: ctx.sp.k,
-            kind: EdgeKind::Interconnect {
-                phase: phase as u8,
-            },
+            kind: EdgeKind::Interconnect { phase: phase as u8 },
             path: path_id,
         });
     }
@@ -312,9 +305,7 @@ fn form_superclusters(
                     if d.pw > formula_w * (1.0 + 1e-9) {
                         *violations += 1;
                     }
-                    let pid = mem_path
-                        .clone()
-                        .map(|p| hopset.push_path(p));
+                    let pid = mem_path.clone().map(|p| hopset.push_path(p));
                     (formula_w.max(d.pw), pid)
                 }
                 ParamMode::Practical => {
@@ -330,9 +321,7 @@ fn form_superclusters(
                 v: rq,
                 w,
                 scale: ctx.sp.k,
-                kind: EdgeKind::Supercluster {
-                    phase: phase as u8,
-                },
+                kind: EdgeKind::Supercluster { phase: phase as u8 },
                 path: path_id,
             });
             edges += 1;
@@ -383,10 +372,7 @@ mod tests {
     use crate::params::ParamMode;
     use pgraph::gen;
 
-    fn scale_setup(
-        n: usize,
-        mode: ParamMode,
-    ) -> (HopsetParams, ScaleParams) {
+    fn scale_setup(n: usize, mode: ParamMode) -> (HopsetParams, ScaleParams) {
         // Scale k = 5 (distances 32..64): with ε = 0.25 and ℓ = 4 the phase
         // thresholds start at δ_0 = 64·0.25³ = 1, matching unit weights.
         let p = HopsetParams::new(n, 0.25, 4, 0.3, mode, n as f64, None).unwrap();
@@ -522,7 +508,10 @@ mod tests {
         let mut h = Hopset::new();
         let mut led = Ledger::new();
         let report = build_single_scale(&ctx, &mut h, &mut led);
-        assert_eq!(report.weight_bound_violations, 0, "pw must stay within formula bounds");
+        assert_eq!(
+            report.weight_bound_violations, 0,
+            "pw must stay within formula bounds"
+        );
         for e in &h.edges {
             match e.kind {
                 EdgeKind::Supercluster { phase } => {

@@ -72,7 +72,11 @@ pub fn measure_stretch(
         }
     }
     let counted = rep.pairs - rep.unreached;
-    rep.mean_stretch = if counted > 0 { sum / counted as f64 } else { 1.0 };
+    rep.mean_stretch = if counted > 0 {
+        sum / counted as f64
+    } else {
+        1.0
+    };
     rep
 }
 
@@ -175,14 +179,12 @@ pub fn check_memory_paths(g: &Graph, hopset: &Hopset) -> Vec<MemoryPathError> {
             .enumerate()
         {
             match link.0 {
-                crate::path::MemEdge::Base => {
-                    match g.edge_weight(a, b) {
-                        Some(w) if (w - link.1).abs() <= 1e-9 * w.max(1.0) => {}
-                        Some(_) | None => {
-                            errs.push(MemoryPathError::PhantomLink { edge: i, pos });
-                        }
+                crate::path::MemEdge::Base => match g.edge_weight(a, b) {
+                    Some(w) if (w - link.1).abs() <= 1e-9 * w.max(1.0) => {}
+                    Some(_) | None => {
+                        errs.push(MemoryPathError::PhantomLink { edge: i, pos });
                     }
-                }
+                },
                 crate::path::MemEdge::Hop(j) => {
                     let Some(ref_edge) = hopset.edges.get(j as usize) else {
                         errs.push(MemoryPathError::LinkMismatch { edge: i, pos });

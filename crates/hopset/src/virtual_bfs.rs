@@ -418,10 +418,7 @@ mod tests {
         let mut led = Ledger::new();
         let det = ex.bfs(&[0], 3, &mut led);
         let pulses: Vec<Option<usize>> = det.iter().map(|d| d.as_ref().map(|x| x.pulse)).collect();
-        assert_eq!(
-            pulses,
-            vec![Some(0), Some(1), Some(2), Some(3), None, None]
-        );
+        assert_eq!(pulses, vec![Some(0), Some(1), Some(2), Some(3), None, None]);
         assert!(det.iter().flatten().all(|d| d.src_center == 0));
     }
 

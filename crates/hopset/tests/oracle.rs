@@ -219,14 +219,19 @@ fn theory_mode_end_to_end() {
     // full contract (β is astronomically large, so queries cap at n and
     // are exact — the interesting checks are no-shortcut and size).
     let g = gen::gnm_connected(64, 192, 4, 1.0, 6.0);
-    let p = HopsetParams::new(64, 0.5, 4, 0.3, ParamMode::Theory, g.aspect_ratio_bound(), None)
-        .unwrap();
+    let p = HopsetParams::new(
+        64,
+        0.5,
+        4,
+        0.3,
+        ParamMode::Theory,
+        g.aspect_ratio_bound(),
+        None,
+    )
+    .unwrap();
     let built = build_hopset(&g, &p, BuildOptions::default());
     assert!(
-        built
-            .scales
-            .iter()
-            .all(|s| s.weight_bound_violations == 0),
+        built.scales.iter().all(|s| s.weight_bound_violations == 0),
         "realized paths must fit the formula weights"
     );
     let bad = hopset::validate::find_shortcut_violations(&g, &built.hopset);

@@ -292,9 +292,13 @@ impl GraphBuilder {
             }
         }
         // Deduplicate parallel edges keeping the lightest (deterministic).
+        self.edges.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.cmp(&b.1))
+                .then(crate::wcmp(&a.2, &b.2))
+        });
         self.edges
-            .sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(crate::wcmp(&a.2, &b.2)));
-        self.edges.dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
+            .dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
 
         let m = self.edges.len();
         let mut deg = vec![0usize; n + 1];

@@ -15,7 +15,7 @@
 
 use crate::{Graph, GraphBuilder, VId, Weight};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Path `0 - 1 - ... - n-1` with unit weights.
 pub fn path(n: usize) -> Graph {
@@ -161,7 +161,9 @@ pub fn gnm_connected(n: usize, m: usize, seed: u64, lo: Weight, hi: Weight) -> G
 /// distance scaled so the minimum is >= 1.
 pub fn geometric(n: usize, radius: f64, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -378,6 +380,9 @@ mod tests {
             assert_eq!(w.log2().fract(), 0.0, "weight {w} not a power of two");
         }
         let d = bfs_hops(&g, 0);
-        assert!(d.iter().all(|&x| x != usize::MAX), "backbone keeps it connected");
+        assert!(
+            d.iter().all(|&x| x != usize::MAX),
+            "backbone keeps it connected"
+        );
     }
 }

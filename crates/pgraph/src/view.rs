@@ -51,7 +51,10 @@ impl<'g> UnionView<'g> {
         let n = base.num_vertices();
         let mut deg = vec![0usize; n + 1];
         for &(u, v, w) in extra {
-            assert!((u as usize) < n && (v as usize) < n, "overlay endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "overlay endpoint out of range"
+            );
             assert!(w.is_finite() && w > 0.0, "overlay weight must be positive");
             assert_ne!(u, v, "overlay self loop");
             deg[u as usize + 1] += 1;
@@ -166,10 +169,7 @@ mod tests {
         assert_eq!(v.degree(1), 2);
         let mut seen = Vec::new();
         v.for_each_neighbor(1, |nb, w, t| seen.push((nb, w, t)));
-        assert_eq!(
-            seen,
-            vec![(0, 1.0, EdgeTag::Base), (2, 1.0, EdgeTag::Base)]
-        );
+        assert_eq!(seen, vec![(0, 1.0, EdgeTag::Base), (2, 1.0, EdgeTag::Base)]);
     }
 
     #[test]

@@ -5,9 +5,8 @@ use pgraph::{gen, io, Graph, GraphBuilder, UnionView, INF};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (8usize..60, 0usize..4, any::<u64>(), 1u32..20).prop_map(|(n, d, seed, wmax)| {
-        gen::gnm(n, n * d + 1, seed, 1.0, wmax as f64)
-    })
+    (8usize..60, 0usize..4, any::<u64>(), 1u32..20)
+        .prop_map(|(n, d, seed, wmax)| gen::gnm(n, n * d + 1, seed, 1.0, wmax as f64))
 }
 
 proptest! {

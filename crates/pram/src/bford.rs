@@ -141,10 +141,7 @@ pub fn bellman_ford(
 /// Total order on relaxation candidates: distance, then parent id, then base
 /// edges before overlay, then overlay index. Deterministic tie-breaking.
 #[inline]
-fn min_candidate(
-    a: (Weight, ParentEdge),
-    b: (Weight, ParentEdge),
-) -> (Weight, ParentEdge) {
+fn min_candidate(a: (Weight, ParentEdge), b: (Weight, ParentEdge)) -> (Weight, ParentEdge) {
     let ka = cand_key(&a);
     let kb = cand_key(&b);
     if kb < ka {
@@ -174,8 +171,8 @@ mod tests {
     #[test]
     fn hop_limit_respected() {
         // square: 0-1-2-3 light path, 0-3 heavy chord
-        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)]).unwrap();
         let view = UnionView::base_only(&g);
         let mut l = Ledger::new();
         let r1 = bellman_ford(&view, &[0], 1, &mut l);

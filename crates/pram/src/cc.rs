@@ -212,7 +212,13 @@ pub fn orient_forest(
         }
     }
     while !frontier.is_empty() {
-        ledger.step(frontier.iter().map(|&v| adj[v as usize].len() as u64).sum::<u64>() + 1);
+        ledger.step(
+            frontier
+                .iter()
+                .map(|&v| adj[v as usize].len() as u64)
+                .sum::<u64>()
+                + 1,
+        );
         let mut next = Vec::new();
         for &u in &frontier {
             for &(v, w) in &adj[u as usize] {

@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn long_chain_converges() {
         let n = 1000;
-        let parent: Vec<VId> = (0..n).map(|v| if v == 0 { 0 } else { v as VId - 1 }).collect();
+        let parent: Vec<VId> = (0..n)
+            .map(|v| if v == 0 { 0 } else { v as VId - 1 })
+            .collect();
         let w: Vec<Weight> = (0..n).map(|v| if v == 0 { 0.0 } else { 1.0 }).collect();
         let mut l = Ledger::new();
         let (d, r) = pointer_jump_distances(&parent, &w, &mut l);

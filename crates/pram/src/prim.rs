@@ -36,7 +36,9 @@ pub fn par_fill<U: Send + Sync>(out: &mut [U], f: impl Fn(usize) -> U + Sync + S
             *slot = f(i);
         }
     } else {
-        out.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = f(i));
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = f(i));
     }
 }
 

@@ -49,11 +49,7 @@ pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) 
 
 /// Stable parallel compaction: keep the elements where `keep` is true,
 /// preserving order. Built on the scan (PRAM-style array packing).
-pub fn compact<T: Clone + Send + Sync>(
-    items: &[T],
-    keep: &[bool],
-    ledger: &mut Ledger,
-) -> Vec<T> {
+pub fn compact<T: Clone + Send + Sync>(items: &[T], keep: &[bool], ledger: &mut Ledger) -> Vec<T> {
     assert_eq!(items.len(), keep.len());
     let flags: Vec<u64> = keep.iter().map(|&k| k as u64).collect();
     let (offsets, total) = exclusive_prefix_sum(&flags, ledger);
@@ -67,7 +63,9 @@ pub fn compact<T: Clone + Send + Sync>(
             out[offsets[i] as usize] = Some(items[i].clone());
         }
     }
-    out.into_iter().map(|x| x.expect("compact slot filled")).collect()
+    out.into_iter()
+        .map(|x| x.expect("compact slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -33,12 +33,8 @@ impl<'g> ApproxShortestPaths<'g> {
     /// Build with practical defaults (`ρ = 1/κ`, the setting of the SSSP
     /// corollary after Theorem 3.8). `eps ∈ (0,1)`, `kappa ≥ 2`.
     pub fn build(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
-        let params = HopsetParams::practical(
-            g.num_vertices().max(2),
-            eps,
-            kappa,
-            g.aspect_ratio_bound(),
-        )?;
+        let params =
+            HopsetParams::practical(g.num_vertices().max(2), eps, kappa, g.aspect_ratio_bound())?;
         Ok(Self::from_params(g, &params))
     }
 

@@ -168,7 +168,10 @@ mod tests {
     fn exact_on_path_and_grid() {
         assert_matches_dijkstra(&gen::path(60), 1.0);
         assert_matches_dijkstra(&gen::unit_grid(8, 12), 3.0);
-        assert_matches_dijkstra(&gen::road_grid(8, 8, 3, 1.0, 7.0), default_delta(&gen::road_grid(8, 8, 3, 1.0, 7.0)));
+        assert_matches_dijkstra(
+            &gen::road_grid(8, 8, 3, 1.0, 7.0),
+            default_delta(&gen::road_grid(8, 8, 3, 1.0, 7.0)),
+        );
     }
 
     #[test]

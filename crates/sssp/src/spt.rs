@@ -26,12 +26,8 @@ pub struct ApproxSptEngine<'g> {
 impl<'g> ApproxSptEngine<'g> {
     /// Build on the plain pipeline (fine for `Λ = poly(n)`; Theorem 4.6).
     pub fn build(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
-        let params = HopsetParams::practical(
-            g.num_vertices().max(2),
-            eps,
-            kappa,
-            g.aspect_ratio_bound(),
-        )?;
+        let params =
+            HopsetParams::practical(g.num_vertices().max(2), eps, kappa, g.aspect_ratio_bound())?;
         let built = build_hopset(g, &params, BuildOptions { record_paths: true });
         Ok(ApproxSptEngine {
             g,

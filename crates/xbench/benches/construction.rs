@@ -57,7 +57,15 @@ fn bench_path_reporting_overhead(c: &mut Criterion) {
     let g = gen::clique_chain(32, 16, 2.0);
     let p = params(&g, 0.25);
     group.bench_function("plain", |b| {
-        b.iter(|| black_box(build_hopset(&g, &p, BuildOptions { record_paths: false })))
+        b.iter(|| {
+            black_box(build_hopset(
+                &g,
+                &p,
+                BuildOptions {
+                    record_paths: false,
+                },
+            ))
+        })
     });
     group.bench_function("with-paths", |b| {
         b.iter(|| black_box(build_hopset(&g, &p, BuildOptions { record_paths: true })))

@@ -38,9 +38,7 @@ fn bench_spt(c: &mut Criterion) {
     group.sample_size(20);
     let g = gen::clique_chain(32, 16, 2.0);
     let engine = ApproxSptEngine::build(&g, 0.25, 4).unwrap();
-    group.bench_function("clique-chain-512", |b| {
-        b.iter(|| black_box(engine.spt(0)))
-    });
+    group.bench_function("clique-chain-512", |b| b.iter(|| black_box(engine.spt(0))));
     group.finish();
 }
 

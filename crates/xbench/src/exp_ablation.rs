@@ -19,12 +19,20 @@ use sssp::eval::spread_sources;
 pub fn a1_delta(cfg: &Config) {
     let nn = cfg.sz(512);
     let mut t = Table::new(&[
-        "family", "schedule", "|H|", "work", "max-stretch", "undershoot",
+        "family",
+        "schedule",
+        "|H|",
+        "work",
+        "max-stretch",
+        "undershoot",
     ]);
     let families: Vec<(&str, Graph)> = vec![
         ("gnm", gen::gnm_connected(nn, 4 * nn, 3, 1.0, 16.0)),
         ("clique-chain", gen::clique_chain(nn / 16, 16, 2.0)),
-        ("weighted-path", gen::path_weighted(nn, |i| 1.0 + (i % 11) as f64)),
+        (
+            "weighted-path",
+            gen::path_weighted(nn, |i| 1.0 + (i % 11) as f64),
+        ),
     ];
     for (name, g) in &families {
         for sched in [DeltaSchedule::Corrected, DeltaSchedule::PaperLiteral] {
@@ -63,7 +71,13 @@ pub fn a1_delta(cfg: &Config) {
 pub fn a2_mode(cfg: &Config) {
     let nn = cfg.sz(128).min(128);
     let mut t = Table::new(&[
-        "mode", "eps_int", "beta", "|H|", "work", "max edge w", "max-stretch",
+        "mode",
+        "eps_int",
+        "beta",
+        "|H|",
+        "work",
+        "max edge w",
+        "max-stretch",
     ]);
     let g = gen::gnm_connected(nn, 3 * nn, 9, 1.0, 8.0);
     for mode in [ParamMode::Practical, ParamMode::Theory] {

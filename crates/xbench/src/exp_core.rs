@@ -24,7 +24,14 @@ fn practical(g: &Graph, eps: f64, kappa: usize, rho: f64) -> HopsetParams {
 /// E1 — Theorem 3.7 / eq. (10): `|H| ≤ ⌈log Λ⌉ · n^{1+1/κ}`.
 pub fn e1_size(cfg: &Config) {
     let mut t = Table::new(&[
-        "n", "m", "kappa", "|H|", "bound", "|H|/bound", "super", "inter",
+        "n",
+        "m",
+        "kappa",
+        "|H|",
+        "bound",
+        "|H|/bound",
+        "super",
+        "inter",
     ]);
     for &nn in &[cfg.sz(256), cfg.sz(512), cfg.sz(1024), cfg.sz(2048)] {
         for &kappa in &[2usize, 3, 4, 6] {
@@ -52,14 +59,25 @@ pub fn e1_size(cfg: &Config) {
 /// E2 — Theorem 3.7 / Corollary 3.5: stretch at the query hop budget.
 pub fn e2_stretch(cfg: &Config) {
     let mut t = Table::new(&[
-        "family", "n", "eps", "hop cap", "beta", "max-stretch", "mean", "undershoot", "unreached",
+        "family",
+        "n",
+        "eps",
+        "hop cap",
+        "beta",
+        "max-stretch",
+        "mean",
+        "undershoot",
+        "unreached",
     ]);
     let nn = cfg.sz(1024);
     let families: Vec<(&str, Graph)> = vec![
         ("gnm", gen::gnm_connected(nn, 4 * nn, 3, 1.0, 16.0)),
         ("road-grid", gen::road_grid(32, nn / 32, 5, 1.0, 10.0)),
         ("clique-chain", gen::clique_chain(nn / 16, 16, 2.0)),
-        ("weighted-path", gen::path_weighted(nn, |i| 1.0 + (i % 11) as f64)),
+        (
+            "weighted-path",
+            gen::path_weighted(nn, |i| 1.0 + (i % 11) as f64),
+        ),
     ];
     for (name, g) in &families {
         for &eps in &[0.1, 0.25, 0.5] {
@@ -103,7 +121,13 @@ pub fn e2b_scale(cfg: &Config) {
     let p = practical(&g, 0.25, 4, 0.3);
     let built = build_hopset(&g, &p, BuildOptions::default());
     let sources = spread_sources(nn, 3);
-    let mut t = Table::new(&["scale k", "|H_k|", "pairs<=2^{k+1}", "max-stretch", "unreached"]);
+    let mut t = Table::new(&[
+        "scale k",
+        "|H_k|",
+        "pairs<=2^{k+1}",
+        "max-stretch",
+        "unreached",
+    ]);
     for k in built.k0..=built.lambda {
         let (overlay, _) = built.hopset.overlay_scale(k);
         let sz = overlay.len();
@@ -141,9 +165,21 @@ pub fn e2b_scale(cfg: &Config) {
 /// polylogarithmic depth.
 pub fn e3_work(cfg: &Config) {
     let mut t = Table::new(&[
-        "n", "m", "rho", "work", "work/unit", "depth", "depth/log^3 n",
+        "n",
+        "m",
+        "rho",
+        "work",
+        "work/unit",
+        "depth",
+        "depth/log^3 n",
     ]);
-    for &nn in &[cfg.sz(256), cfg.sz(512), cfg.sz(1024), cfg.sz(2048), cfg.sz(4096)] {
+    for &nn in &[
+        cfg.sz(256),
+        cfg.sz(512),
+        cfg.sz(1024),
+        cfg.sz(2048),
+        cfg.sz(4096),
+    ] {
         for &rho in &[0.26, 0.3, 0.4] {
             let g = gen::gnm_connected(nn, 4 * nn, 11, 1.0, 16.0);
             let p = practical(&g, 0.25, 4, rho);
@@ -204,7 +240,10 @@ pub fn e5_phases(cfg: &Config) {
     let nn = cfg.sz(1024);
     let families: Vec<(&str, Graph)> = vec![
         ("clique-chain", gen::clique_chain(nn / 16, 16, 2.0)),
-        ("hierarchical", gen::hierarchical(4, if cfg.quick { 4 } else { 5 }, 6.0)),
+        (
+            "hierarchical",
+            gen::hierarchical(4, if cfg.quick { 4 } else { 5 }, 6.0),
+        ),
     ];
     for (name, g) in &families {
         let p = practical(g, 0.25, 4, 0.3);

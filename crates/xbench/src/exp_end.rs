@@ -4,7 +4,9 @@ use crate::table::{f, n as fmt_n, Table};
 use crate::Config;
 use hopset::ruling::{ruling_set, RulingTrace};
 use hopset::virtual_bfs::Explorer;
-use hopset::{build_hopset, BuildOptions, ClusterMemory, HopsetParams, ParamMode, Partition, ScaleParams};
+use hopset::{
+    build_hopset, BuildOptions, ClusterMemory, HopsetParams, ParamMode, Partition, ScaleParams,
+};
 use pgraph::{exact, gen, Graph, UnionView, INF};
 use pram::Ledger;
 use sssp::eval::{spread_sources, stretch_vs_hops};
@@ -27,8 +29,18 @@ fn practical(g: &Graph, eps: f64, kappa: usize, rho: f64) -> HopsetParams {
 /// baselines (bare Bellman–Ford rounds; sequential Dijkstra).
 pub fn e10_sssp(cfg: &Config) {
     let mut t = Table::new(&[
-        "family", "n", "m", "BF rounds bare", "delta-step rounds", "beta", "build ms", "query ms",
-        "dijkstra ms", "dstep ms", "query work", "stretch",
+        "family",
+        "n",
+        "m",
+        "BF rounds bare",
+        "delta-step rounds",
+        "beta",
+        "build ms",
+        "query ms",
+        "dijkstra ms",
+        "dstep ms",
+        "query work",
+        "stretch",
     ]);
     let nn = cfg.sz(4096);
     let families: Vec<(&str, Graph)> = vec![
@@ -84,7 +96,11 @@ pub fn f1_reach(cfg: &Config) {
     let built = build_hopset(&g, &p, BuildOptions::default());
     let sources = spread_sources(nn, 3);
     let mut t = Table::new(&[
-        "scale k", "1+eps_{k-1}", "pairs", "max d^(2b+1)/d", "unreached",
+        "scale k",
+        "1+eps_{k-1}",
+        "pairs",
+        "max d^(2b+1)/d",
+        "unreached",
     ]);
     let mut eps_prev = 0.0f64;
     for k in built.k0..=built.lambda {
@@ -130,7 +146,11 @@ pub fn f2_hops(cfg: &Config) {
     let nn = cfg.sz(1024);
     let budgets = [8usize, 16, 24, 32, 48, 64, 96, 128];
     let mut t = Table::new(&[
-        "family", "hops", "with H: stretch", "with H: unreached", "bare: unreached",
+        "family",
+        "hops",
+        "with H: stretch",
+        "with H: unreached",
+        "bare: unreached",
     ]);
     let families: Vec<(&str, Graph)> = vec![
         ("path", gen::path(nn)),
@@ -177,7 +197,13 @@ pub fn f9_knockout(cfg: &Config) {
     let mut led = Ledger::new();
     let mut trace = RulingTrace::default();
     let q = ruling_set(&ex, &w, &mut led, Some(&mut trace));
-    let mut t = Table::new(&["level (bit)", "sources B0", "candidates B1", "knocked out", "alive"]);
+    let mut t = Table::new(&[
+        "level (bit)",
+        "sources B0",
+        "candidates B1",
+        "knocked out",
+        "alive",
+    ]);
     for l in &trace.levels {
         t.row(vec![
             l.level.to_string(),
@@ -204,7 +230,12 @@ pub fn f11_peeling(cfg: &Config) {
     let built = build_hopset(&g, &p, BuildOptions { record_paths: true });
     let spt = hopset::path_report::build_spt(&g, &built, 0);
     let mut t = Table::new(&[
-        "iteration (scale)", "graph edges", "hopset edges", "replaced", "triplets", "improved",
+        "iteration (scale)",
+        "graph edges",
+        "hopset edges",
+        "replaced",
+        "triplets",
+        "improved",
     ]);
     for st in &spt.peel_stats {
         t.row(vec![

@@ -32,7 +32,13 @@ fn practical(g: &Graph, eps: f64, kappa: usize, rho: f64) -> HopsetParams {
 pub fn e6_ruling(cfg: &Config) {
     let nn = cfg.sz(256);
     let mut t = Table::new(&[
-        "graph", "threshold", "|W|", "|Q|", "min-sep", "max-cover", "2log n",
+        "graph",
+        "threshold",
+        "|W|",
+        "|Q|",
+        "min-sep",
+        "max-cover",
+        "2log n",
     ]);
     let graphs: Vec<(&str, Graph)> = vec![
         ("gnm", gen::gnm_connected(nn, 3 * nn, 3, 1.0, 4.0)),
@@ -56,13 +62,18 @@ pub fn e6_ruling(cfg: &Config) {
             let w: Vec<u32> = (0..g.num_vertices() as u32).collect();
             let mut led = Ledger::new();
             let q = ruling_set(&ex, &w, &mut led, None);
-            let (sep, cover) = verify_ruling(&ex, &q, &w, 4 * pgraph::ceil_log2(nn) as usize, &mut led);
+            let (sep, cover) =
+                verify_ruling(&ex, &q, &w, 4 * pgraph::ceil_log2(nn) as usize, &mut led);
             t.row(vec![
                 name.to_string(),
                 f(thr),
                 fmt_n(w.len()),
                 fmt_n(q.len()),
-                if sep == usize::MAX { "inf".into() } else { sep.to_string() },
+                if sep == usize::MAX {
+                    "inf".into()
+                } else {
+                    sep.to_string()
+                },
                 cover.to_string(),
                 (2 * pgraph::ceil_log2(nn)).to_string(),
             ]);
@@ -76,17 +87,33 @@ pub fn e6_ruling(cfg: &Config) {
 pub fn e7_spt(cfg: &Config) {
     let nn = cfg.sz(512);
     let mut t = Table::new(&[
-        "family", "n", "|H|", "max path len", "sigma bound", "tree-in-G", "stretch", "mismatch",
+        "family",
+        "n",
+        "|H|",
+        "max path len",
+        "sigma bound",
+        "tree-in-G",
+        "stretch",
+        "mismatch",
     ]);
     let families: Vec<(&str, Graph)> = vec![
         ("clique-chain", gen::clique_chain(nn / 16, 16, 2.0)),
         ("gnm", gen::gnm_connected(nn, 3 * nn, 5, 1.0, 8.0)),
-        ("weighted-path", gen::path_weighted(nn, |i| 1.0 + (i % 5) as f64)),
+        (
+            "weighted-path",
+            gen::path_weighted(nn, |i| 1.0 + (i % 5) as f64),
+        ),
     ];
     for (name, g) in &families {
         let p = practical(g, 0.25, 4, 0.3);
         let built = build_hopset(g, &p, BuildOptions { record_paths: true });
-        let max_plen = built.hopset.paths.iter().map(|q| q.len()).max().unwrap_or(0);
+        let max_plen = built
+            .hopset
+            .paths
+            .iter()
+            .map(|q| q.len())
+            .max()
+            .unwrap_or(0);
         let spt = hopset::path_report::build_spt(g, &built, 0);
         let val = validate_spt(g, &spt);
         t.row(vec![
@@ -107,7 +134,15 @@ pub fn e7_spt(cfg: &Config) {
 /// eq. (22) per-level weight ratio, eq. (24) star count, eq. (26) node sum.
 pub fn e8_reduction(cfg: &Config) {
     let mut t = Table::new(&[
-        "graph", "n", "levels", "sum nodes", "n log n", "|S|", "max Gk ratio", "O(n/eps)", "stretch",
+        "graph",
+        "n",
+        "levels",
+        "sum nodes",
+        "n log n",
+        "|S|",
+        "max Gk ratio",
+        "O(n/eps)",
+        "stretch",
     ]);
     let nn = cfg.sz(256);
     let eps = 0.4;
@@ -117,8 +152,15 @@ pub fn e8_reduction(cfg: &Config) {
         ("wide-dense", gen::wide_weights(nn, 4 * nn, 24, 8)),
     ];
     for (name, g) in &graphs {
-        let r = build_reduced_hopset(g, eps, 4, 0.3, ParamMode::Practical, BuildOptions::default())
-            .expect("params");
+        let r = build_reduced_hopset(
+            g,
+            eps,
+            4,
+            0.3,
+            ParamMode::Practical,
+            BuildOptions::default(),
+        )
+        .expect("params");
         let n_f = g.num_vertices() as f64;
         let sum_nodes: usize = r.levels.iter().map(|l| l.non_isolated_nodes).sum();
         let max_ratio = r
@@ -127,7 +169,12 @@ pub fn e8_reduction(cfg: &Config) {
             .filter(|l| l.edges > 0)
             .map(|l| l.aspect_ratio)
             .fold(1.0f64, f64::max);
-        let rep = measure_stretch(g, &r.hopset, &spread_sources(g.num_vertices(), 3), r.query_hops);
+        let rep = measure_stretch(
+            g,
+            &r.hopset,
+            &spread_sources(g.num_vertices(), 3),
+            r.query_hops,
+        );
         t.row(vec![
             name.to_string(),
             fmt_n(g.num_vertices()),
@@ -148,7 +195,14 @@ pub fn e8_reduction(cfg: &Config) {
 pub fn e9_vs_random(cfg: &Config) {
     let nn = cfg.sz(512);
     let mut t = Table::new(&[
-        "family", "det |H|", "rnd |H| (avg3)", "size ratio", "det work", "rnd work", "det stretch", "rnd stretch",
+        "family",
+        "det |H|",
+        "rnd |H| (avg3)",
+        "size ratio",
+        "det work",
+        "rnd work",
+        "det stretch",
+        "rnd stretch",
     ]);
     let families: Vec<(&str, Graph)> = vec![
         ("gnm", gen::gnm_connected(nn, 4 * nn, 23, 1.0, 12.0)),

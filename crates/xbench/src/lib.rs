@@ -40,23 +40,87 @@ pub type Runner = fn(&Config);
 /// All experiments in DESIGN.md §6 order.
 pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
     vec![
-        ("e1-size", "Thm 3.7: hopset size vs ceil(log L)*n^{1+1/k}", exp_core::e1_size),
-        ("e2-stretch", "Thm 3.7/Cor 3.5: stretch at hop budget", exp_core::e2_stretch),
-        ("e2b-scale", "Lemma 2.1/3.3: per-scale coverage", exp_core::e2b_scale),
-        ("e3-work", "Thm 3.7: counted work/depth vs bounds", exp_core::e3_work),
-        ("e4-msssd", "Thm 3.8: multi-source scaling", exp_core::e4_msssd),
-        ("e5-phases", "Lemmas 2.5-2.7: cluster-count decay", exp_core::e5_phases),
-        ("e6-ruling", "Cor B.4: ruling-set quality", exp_quality::e6_ruling),
+        (
+            "e1-size",
+            "Thm 3.7: hopset size vs ceil(log L)*n^{1+1/k}",
+            exp_core::e1_size,
+        ),
+        (
+            "e2-stretch",
+            "Thm 3.7/Cor 3.5: stretch at hop budget",
+            exp_core::e2_stretch,
+        ),
+        (
+            "e2b-scale",
+            "Lemma 2.1/3.3: per-scale coverage",
+            exp_core::e2b_scale,
+        ),
+        (
+            "e3-work",
+            "Thm 3.7: counted work/depth vs bounds",
+            exp_core::e3_work,
+        ),
+        (
+            "e4-msssd",
+            "Thm 3.8: multi-source scaling",
+            exp_core::e4_msssd,
+        ),
+        (
+            "e5-phases",
+            "Lemmas 2.5-2.7: cluster-count decay",
+            exp_core::e5_phases,
+        ),
+        (
+            "e6-ruling",
+            "Cor B.4: ruling-set quality",
+            exp_quality::e6_ruling,
+        ),
         ("e7-spt", "Thm 4.6: path-reporting SPT", exp_quality::e7_spt),
-        ("e8-reduction", "App C: weight-reduction invariants", exp_quality::e8_reduction),
-        ("e9-vs-random", "derandomization cost vs sampling baseline", exp_quality::e9_vs_random),
-        ("e10-sssp", "Thm 3.8 end-to-end vs baselines", exp_end::e10_sssp),
-        ("f1-reach", "Fig 1/Lemma 2.1: exploration reach", exp_end::f1_reach),
-        ("f2-hops", "Figs 4-5/eq 18: stretch-vs-hop-budget curves", exp_end::f2_hops),
-        ("f9-knockout", "Fig 9: ruling-set knockout recursion", exp_end::f9_knockout),
-        ("f11-peeling", "Fig 11: peeling composition series", exp_end::f11_peeling),
-        ("a1-delta", "ablation: printed vs corrected delta schedule", exp_ablation::a1_delta),
-        ("a2-mode", "ablation: Theory vs Practical constants", exp_ablation::a2_mode),
+        (
+            "e8-reduction",
+            "App C: weight-reduction invariants",
+            exp_quality::e8_reduction,
+        ),
+        (
+            "e9-vs-random",
+            "derandomization cost vs sampling baseline",
+            exp_quality::e9_vs_random,
+        ),
+        (
+            "e10-sssp",
+            "Thm 3.8 end-to-end vs baselines",
+            exp_end::e10_sssp,
+        ),
+        (
+            "f1-reach",
+            "Fig 1/Lemma 2.1: exploration reach",
+            exp_end::f1_reach,
+        ),
+        (
+            "f2-hops",
+            "Figs 4-5/eq 18: stretch-vs-hop-budget curves",
+            exp_end::f2_hops,
+        ),
+        (
+            "f9-knockout",
+            "Fig 9: ruling-set knockout recursion",
+            exp_end::f9_knockout,
+        ),
+        (
+            "f11-peeling",
+            "Fig 11: peeling composition series",
+            exp_end::f11_peeling,
+        ),
+        (
+            "a1-delta",
+            "ablation: printed vs corrected delta schedule",
+            exp_ablation::a1_delta,
+        ),
+        (
+            "a2-mode",
+            "ablation: Theory vs Practical constants",
+            exp_ablation::a2_mode,
+        ),
     ]
 }
 

@@ -50,6 +50,9 @@ fn main() {
     // Nearest-depot distances in one shot (single multi-source BF).
     let nearest = engine.distances_to_nearest(&depots);
     let covered = nearest.iter().filter(|d| d.is_finite()).count();
-    println!("nearest-depot query covers {covered}/{} vertices", g.num_vertices());
+    println!(
+        "nearest-depot query covers {covered}/{} vertices",
+        g.num_vertices()
+    );
     println!("OK");
 }

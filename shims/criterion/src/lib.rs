@@ -1,0 +1,202 @@
+//! Local stand-in for the subset of `criterion` the `xbench` benches use.
+//!
+//! It keeps the bench *sources* byte-for-byte compatible with real
+//! criterion (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`) but replaces the
+//! statistical machinery with a simple timed loop: each benchmark runs a
+//! warm-up iteration plus `min(sample_size, 5)` timed iterations and prints
+//! mean/min wall-clock per iteration. Good enough to eyeball regressions;
+//! swap the real criterion back in via the root `Cargo.toml` for serious
+//! measurement.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export convenience;
+/// benches may also use `std::hint::black_box` directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from a single parameter (e.g. an input size).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    label: String,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time the closure: one warm-up call, then `samples` timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        println!(
+            "bench {:<48} mean {:>12?}  min {:>12?}  ({} iters, shim)",
+            self.label,
+            total / self.samples as u32,
+            best,
+            self.samples
+        );
+    }
+}
+
+/// Top-level benchmark context (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            sample_size: 3,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            label: id.into(),
+            samples: 3,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Accept CLI configuration (ignored by the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count (the shim caps it at 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 5);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id.into()),
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Benchmark a closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id.0),
+            samples: self.sample_size,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Finish the group (a no-op beyond ending the borrow).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("shim-test");
+            g.sample_size(2);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // warm-up + 2 samples
+        assert_eq!(calls, 3);
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(1024).0, "1024");
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+    }
+}

@@ -1,0 +1,231 @@
+//! Local stand-in for the subset of `rand` 0.9 this workspace uses: the
+//! [`Rng`] / [`RngCore`] / [`SeedableRng`] traits, uniform range sampling,
+//! and a seedable [`rngs::StdRng`].
+//!
+//! The workspace only ever consumes *seeded* randomness (generators and the
+//! randomized baseline take explicit `u64` seeds), so the only contract
+//! that matters is seed-determinism: same seed, same stream — which this
+//! shim honors. The stream itself differs from upstream `rand`'s `StdRng`
+//! (upstream explicitly documents its `StdRng` stream as unstable across
+//! versions, so no caller may depend on the exact values).
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — the
+//! initialization recommended by the xoshiro authors — giving 256 bits of
+//! state and passing the usual statistical batteries; plenty for graph
+//! generation and sampling baselines.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Named generators, mirroring `rand::rngs`.
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+/// Low-level generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it through SplitMix64 exactly like
+    /// upstream `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (public domain), the upstream expansion function.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods (mirrors `rand::Rng`, the 0.9 naming:
+/// `random` / `random_range`).
+pub trait Rng: RngCore {
+    /// A sample from the standard distribution of `T` (`f64`: uniform in
+    /// `[0, 1)`; integers: uniform over the full range; `bool`: fair coin).
+    fn random<T>(&mut self) -> T
+    where
+        T: StandardSample,
+    {
+        T::standard_sample(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::random`].
+pub trait StandardSample: Sized {
+    /// Draw one standard sample.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_standard_sample {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_standard_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                // Two's-complement wrap gives the correct span width even
+                // for negative-start signed ranges.
+                let span = (self.end as u128).wrapping_sub(self.start as u128) & (u64::MAX as u128);
+                let v = (rng.next_u64() as u128) % span;
+                self.start.wrapping_add(v as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span =
+                    ((hi as u128).wrapping_sub(lo as u128) & (u64::MAX as u128)) + 1;
+                let v = (rng.next_u64() as u128) % span;
+                lo.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let unit = f64::standard_sample(rng); // [0, 1)
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in random_range");
+        // 53 uniform bits into [0, 1] (both endpoints reachable).
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + (hi - lo) * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(1.5f64..=9.5);
+            assert!((1.5..=9.5).contains(&y));
+            let z = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&z));
+            let w = rng.random_range(0u32..5);
+            assert!(w < 5);
+            // Negative-start signed ranges must not underflow the span.
+            let s = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+            let si = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&si));
+        }
+        // Extreme signed spans exercise the wrap-around arithmetic.
+        let e = rng.random_range(i64::MIN..=i64::MAX);
+        let _ = e;
+    }
+
+    #[test]
+    fn unit_interval_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

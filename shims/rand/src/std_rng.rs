@@ -1,0 +1,42 @@
+//! The shim's `StdRng`: xoshiro256** (Blackman–Vigna, public domain),
+//! seeded via SplitMix64. Seed-deterministic; stream intentionally
+//! unspecified relative to upstream `rand` (upstream makes the same
+//! non-guarantee for its `StdRng`).
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, seedable generator with 256 bits of state.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // All-zero state is the one degenerate fixpoint of xoshiro.
+        if s == [0; 4] {
+            s = [0x9e3779b97f4a7c15, 0x6a09e667f3bcc909, 1, 2];
+        }
+        StdRng { s }
+    }
+}

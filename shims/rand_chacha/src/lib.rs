@@ -1,0 +1,148 @@
+//! Local stand-in for `rand_chacha`: real ChaCha8/12/20 keystream
+//! generators implementing the `rand` shim's `RngCore`/`SeedableRng`.
+//!
+//! Unlike the shim `StdRng` (which trades fidelity for size), these run the
+//! genuine ChaCha quarter-round schedule (RFC 8439 block function with the
+//! rounds parameter varied), so the keystream for a given 32-byte key
+//! matches any conformant ChaCha implementation with the same nonce/counter
+//! convention (original-ChaCha layout, as upstream `rand_chacha` uses:
+//! 8-byte zero nonce, 64-bit block counter starting at 0 in state words
+//! 12–13).
+
+use rand::{RngCore, SeedableRng};
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32, out: &mut [u32; 16]) {
+    let mut state = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+        *o = s.wrapping_add(*i);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            idx: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name { key, counter: 0, buf: [0; 16], idx: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    chacha_block(&self.key, self.counter, $rounds, &mut self.buf);
+                    self.counter += 1;
+                    self.idx = 0;
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds — fastest, still statistically strong.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds — upstream `StdRng`'s choice.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds — the full RFC 8439 cipher.
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_matches_rfc8439_keystream_shape() {
+        // RFC 8439 §2.3.2 test vector uses key 00..1f, nonce/counter values
+        // we don't replicate; instead check the zero-key/zero-counter block
+        // is stable and rounds differentiate streams.
+        let mut a = ChaCha20Rng::from_seed([0; 32]);
+        let mut b = ChaCha20Rng::from_seed([0; 32]);
+        let mut c = ChaCha8Rng::from_seed([0; 32]);
+        let xs: Vec<u32> = (0..32).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..32).map(|_| b.next_u32()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], c.next_u32());
+    }
+
+    #[test]
+    fn seedable_and_samplable() {
+        let mut r = ChaCha12Rng::seed_from_u64(99);
+        let v = r.random_range(0usize..100);
+        assert!(v < 100);
+        let f = r.random::<f64>();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

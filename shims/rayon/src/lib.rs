@@ -1,0 +1,237 @@
+//! Sequential, API-compatible stand-in for the subset of `rayon` this
+//! workspace uses (the build environment has no registry access; see
+//! `shims/README.md`).
+//!
+//! Every `par_*` entry point returns a plain `std` iterator, so downstream
+//! adaptor chains (`map`, `zip`, `enumerate`, `for_each`, `collect`, …)
+//! come from `std::iter::Iterator` unchanged. The one adaptor rayon has and
+//! `std` lacks (`reduce_with`) is supplied by [`ParallelIterator`].
+//!
+//! Because all call sites in this workspace are order-independent
+//! reductions or order-preserving maps (that is the repo's determinism
+//! contract), sequential execution is *observably identical* to rayon up to
+//! wall-clock time. Swapping the real rayon back in is a one-line change in
+//! the root `Cargo.toml`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+pub mod prelude {
+    //! The drop-in equivalent of `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// `into_par_iter()` for any owned iterable (ranges, vectors, …).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a (sequentially executed) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Adaptors rayon's `ParallelIterator` offers beyond `std::iter::Iterator`.
+pub trait ParallelIterator: Iterator + Sized {
+    /// Reduce with a binary operation; `None` on an empty iterator.
+    fn reduce_with<F>(self, op: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.reduce(op)
+    }
+
+    /// Splitting-granularity hint; a no-op sequentially.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `par_iter`/`par_chunks` over shared slices.
+pub trait ParallelSlice<T> {
+    /// Iterate the slice ("in parallel").
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Fixed-size chunks of the slice ("in parallel").
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut`/`par_sort_*` over mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Iterate the slice mutably.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Fixed-size mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Stable sort by comparator (rayon's parallel merge sort is stable;
+    /// so is this).
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering;
+    /// Stable sort by key.
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K;
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering,
+    {
+        self.sort_by(cmp);
+    }
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K,
+    {
+        self.sort_by_key(key);
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering,
+    {
+        self.sort_unstable_by(cmp);
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both
+/// results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads the current pool uses (always 1 in the shim).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; thread count is recorded
+/// but execution stays sequential.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a worker count (recorded, not enforced).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool; never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A "thread pool": `install` simply runs the closure on the current
+/// thread. Correct for this workspace because every parallel region is
+/// deterministic and order-independent.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Execute `op` inside the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The recorded worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chain_matches_sequential() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        let s: u32 = (0..10u32).into_par_iter().sum();
+        assert_eq!(s, 45);
+        let m = v.par_iter().copied().reduce_with(u32::max);
+        assert_eq!(m, Some(99));
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn par_sorts_are_stable_where_promised() {
+        let mut v: Vec<(u32, u32)> = (0..100).map(|i| (i % 3, i)).collect();
+        v.par_sort_by_key(|&(k, _)| k);
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+}

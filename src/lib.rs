@@ -55,11 +55,9 @@ pub use sssp;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use hopset::{
-        build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamMode,
-    };
     pub use hopset::path_report::{build_spt, validate_spt, SptResult};
     pub use hopset::reduction::build_reduced_hopset;
+    pub use hopset::{build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamMode};
     pub use pgraph::{exact, gen, Graph, GraphBuilder, UnionView, INF};
     pub use pram::Ledger;
     pub use sssp::{delta_stepping, ApproxShortestPaths, ApproxSptEngine};

@@ -101,7 +101,11 @@ fn determinism_across_thread_counts() {
         assert_eq!(a.hopset.len(), other.hopset.len());
         for (x, y) in a.hopset.edges.iter().zip(&other.hopset.edges) {
             assert_eq!((x.u, x.v, x.scale), (y.u, y.v, y.scale));
-            assert_eq!(x.w.to_bits(), y.w.to_bits(), "weights must be bit-identical");
+            assert_eq!(
+                x.w.to_bits(),
+                y.w.to_bits(),
+                "weights must be bit-identical"
+            );
         }
         assert_eq!(a.ledger, other.ledger);
     }
@@ -151,9 +155,8 @@ fn hop_reduction_is_real() {
     // The actual point of a hopset: with budget ≪ hop diameter, the bare
     // graph cannot answer, G ∪ H can.
     let g = gen::path(300);
-    let engine =
-        ApproxShortestPaths::with_params(&g, 0.25, 4, 0.3, ParamMode::Practical, Some(40))
-            .expect("params");
+    let engine = ApproxShortestPaths::with_params(&g, 0.25, 4, 0.3, ParamMode::Practical, Some(40))
+        .expect("params");
     let approx = engine.distances_from(0);
     let (bare, _) = sssp::baseline::plain_bellman_ford(&g, 0, engine.query_hops());
     assert_eq!(bare[299], INF, "bare graph cannot span 299 hops in 40");
@@ -231,13 +234,8 @@ fn spt_determinism_across_threads() {
             .build()
             .unwrap();
         pool.install(|| {
-            let p = HopsetParams::practical(
-                g.num_vertices(),
-                0.25,
-                4,
-                g.aspect_ratio_bound(),
-            )
-            .unwrap();
+            let p =
+                HopsetParams::practical(g.num_vertices(), 0.25, 4, g.aspect_ratio_bound()).unwrap();
             let built = build_hopset(&g, &p, BuildOptions { record_paths: true });
             build_spt(&g, &built, 0)
         })

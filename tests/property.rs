@@ -6,13 +6,12 @@
 //! behavior sane (a failing case is a small tuple, not a giant edge list)
 //! while still covering a wide input space.
 
-use proptest::prelude::*;
 use pram_sssp::prelude::*;
+use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (12usize..80, 1usize..4, any::<u64>()).prop_map(|(n, density, seed)| {
-        gen::gnm_connected(n, n * density, seed, 1.0, 10.0)
-    })
+    (12usize..80, 1usize..4, any::<u64>())
+        .prop_map(|(n, density, seed)| gen::gnm_connected(n, n * density, seed, 1.0, 10.0))
 }
 
 proptest! {
