@@ -92,7 +92,17 @@ struct Ptr {
 /// (Algorithm 1). Panics if the hopset was built without
 /// [`crate::BuildOptions::record_paths`].
 pub fn build_spt(g: &Graph, built: &BuiltHopset, source: VId) -> SptResult {
-    spt_core(g, &built.hopset, source, built.params.query_hops)
+    let overlay = built.hopset.overlay_all();
+    let view = UnionView::with_extra(g, &overlay);
+    build_spt_on(&view, built, source)
+}
+
+/// Like [`build_spt`], but over a pre-built `G ∪ H` view (whose overlay
+/// must be the hopset's [`Hopset::overlay_all`], so `EdgeTag::Extra(i)`
+/// maps to `hopset.edges[i]`). Long-lived query engines build the view
+/// once and call this per query.
+pub fn build_spt_on(view: &UnionView<'_>, built: &BuiltHopset, source: VId) -> SptResult {
+    spt_core(view, &built.hopset, source, built.params.query_hops)
 }
 
 /// Extract a `(1+ε)`-SPT from a *weight-reduced* path-reporting hopset
@@ -101,21 +111,36 @@ pub fn build_spt(g: &Graph, built: &BuiltHopset, source: VId) -> SptResult {
 /// hopset edges, then star edges, then graph edges — realizing the
 /// three-step replacement of §D.2 (Figure 11) in one uniform loop.
 pub fn build_spt_reduced(g: &Graph, reduced: &ReducedHopset, source: VId) -> SptResult {
-    spt_core(g, &reduced.hopset, source, reduced.query_hops)
+    let overlay = reduced.hopset.overlay_all();
+    let view = UnionView::with_extra(g, &overlay);
+    build_spt_reduced_on(&view, reduced, source)
 }
 
-fn spt_core(g: &Graph, hopset: &Hopset, source: VId, query_hops: usize) -> SptResult {
+/// Like [`build_spt_reduced`], but over a pre-built `G ∪ H` view (see
+/// [`build_spt_on`] for the overlay-index contract).
+pub fn build_spt_reduced_on(
+    view: &UnionView<'_>,
+    reduced: &ReducedHopset,
+    source: VId,
+) -> SptResult {
+    spt_core(view, &reduced.hopset, source, reduced.query_hops)
+}
+
+fn spt_core(view: &UnionView<'_>, hopset: &Hopset, source: VId, query_hops: usize) -> SptResult {
     assert!(
         hopset.edges.iter().all(|e| e.path.is_some()),
         "path-reporting SPT requires a hopset built with record_paths"
     );
-    let n = g.num_vertices();
+    debug_assert_eq!(
+        view.num_extra(),
+        hopset.edges.len(),
+        "view overlay must be the hopset's overlay_all()"
+    );
+    let n = view.num_vertices();
     let mut ledger = Ledger::new();
 
     // ---- 1. β-hop Bellman–Ford over G ∪ H (Algorithm 1, line 3).
-    let overlay = hopset.overlay_all();
-    let view = UnionView::with_extra(g, &overlay);
-    let bf = bford::bellman_ford(&view, &[source], query_hops, &mut ledger);
+    let bf = bford::bellman_ford(view, &[source], query_hops, &mut ledger);
 
     let mut dist: Vec<Weight> = bf.dist.clone();
     let mut ptr: Vec<Option<Ptr>> = bf

@@ -8,7 +8,8 @@
 //!   weighted graphs with `u32` vertex ids and `f64` weights,
 //! * [`UnionView`] — a zero-copy adjacency view over `E ∪ H` (a base graph
 //!   plus an overlay edge set, e.g. a hopset), which is the object all
-//!   hop-limited explorations in the paper run on,
+//!   hop-limited explorations in the paper run on, and [`UnionGraph`] — its
+//!   owned, `Arc`-backed, `Send + Sync` sibling for long-lived query engines,
 //! * [`gen`] — deterministic graph generators used by tests, examples and
 //!   the experiment harness,
 //! * [`exact`] — exact reference algorithms (Dijkstra, hop-limited
@@ -25,7 +26,7 @@ pub mod io;
 pub mod view;
 
 pub use csr::{Graph, GraphBuilder, GraphStats};
-pub use view::{EdgeTag, UnionView};
+pub use view::{EdgeTag, OverlayCsr, UnionGraph, UnionView};
 
 /// Vertex identifier. Graphs are limited to `u32::MAX` vertices, which keeps
 /// adjacency arrays compact (see the perf-book guidance on smaller integers).

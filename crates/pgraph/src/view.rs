@@ -9,8 +9,21 @@
 //!
 //! The overlay keeps the *index* of each extra edge, so downstream consumers
 //! (path-reporting, §4) can attribute a relaxation to a specific hopset edge.
+//!
+//! Two flavors exist:
+//!
+//! * [`UnionView`] — borrows the base graph (`&'g Graph`); the working type
+//!   of the construction, where every scale overlays a different edge set;
+//! * [`UnionGraph`] — **owns** the base graph via `Arc<Graph>` plus the
+//!   overlay CSR. Built once, it hands out borrowed [`UnionView`]s for free
+//!   (no re-sorting, no re-bucketing), which is what a long-lived query
+//!   engine serving many concurrent queries wants. `UnionGraph` is
+//!   `Send + Sync`, so it can sit behind an `Arc` and be queried from many
+//!   threads.
 
 use crate::{Graph, VId, Weight};
+use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Identifies which layer an adjacency entry came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -21,34 +34,35 @@ pub enum EdgeTag {
     Extra(u32),
 }
 
-/// A read-only adjacency view over a base [`Graph`] plus an overlay edge set.
-pub struct UnionView<'g> {
-    base: &'g Graph,
-    /// CSR over the overlay edges.
+/// The overlay half of a union view: a CSR over the extra edge set, built
+/// once and shareable between [`UnionView`] (borrowed) and [`UnionGraph`]
+/// (owned).
+#[derive(Clone, Debug, Default)]
+pub struct OverlayCsr {
+    /// `off[v]..off[v+1]` indexes `adj` for vertex `v`.
     off: Vec<usize>,
     /// (neighbor, weight, overlay edge index)
     adj: Vec<(VId, Weight, u32)>,
     extra_count: usize,
 }
 
-impl<'g> UnionView<'g> {
-    /// View of the base graph alone.
-    pub fn base_only(base: &'g Graph) -> Self {
-        UnionView {
-            base,
-            off: vec![0; base.num_vertices() + 1],
+impl OverlayCsr {
+    /// An empty overlay for an `n`-vertex base graph.
+    pub fn empty(n: usize) -> Self {
+        OverlayCsr {
+            off: vec![0; n + 1],
             adj: Vec::new(),
             extra_count: 0,
         }
     }
 
-    /// Overlay `extra` (undirected edges `(u, v, w)`) on `base`.
+    /// Bucket `extra` (undirected edges `(u, v, w)`) into a CSR over `n`
+    /// vertices, with a deterministic per-vertex order.
     ///
     /// Panics if an overlay endpoint is out of range or a weight is not
     /// positive and finite — overlay edges are produced by this workspace's
     /// own algorithms, so a violation is a logic error, not bad input.
-    pub fn with_extra(base: &'g Graph, extra: &[(VId, VId, Weight)]) -> Self {
-        let n = base.num_vertices();
+    pub fn build(n: usize, extra: &[(VId, VId, Weight)]) -> Self {
         let mut deg = vec![0usize; n + 1];
         for &(u, v, w) in extra {
             assert!(
@@ -76,11 +90,51 @@ impl<'g> UnionView<'g> {
         for v in 0..n {
             adj[off[v]..off[v + 1]].sort_by(|a, b| a.0.cmp(&b.0).then(a.2.cmp(&b.2)));
         }
-        UnionView {
-            base,
+        OverlayCsr {
             off,
             adj,
             extra_count: extra.len(),
+        }
+    }
+}
+
+/// A read-only adjacency view over a base [`Graph`] plus an overlay edge set.
+pub struct UnionView<'g> {
+    base: &'g Graph,
+    csr: Cow<'g, OverlayCsr>,
+}
+
+impl<'g> UnionView<'g> {
+    /// View of the base graph alone.
+    pub fn base_only(base: &'g Graph) -> Self {
+        UnionView {
+            csr: Cow::Owned(OverlayCsr::empty(base.num_vertices())),
+            base,
+        }
+    }
+
+    /// Overlay `extra` (undirected edges `(u, v, w)`) on `base`.
+    ///
+    /// Panics if an overlay endpoint is out of range or a weight is not
+    /// positive and finite — overlay edges are produced by this workspace's
+    /// own algorithms, so a violation is a logic error, not bad input.
+    ///
+    /// This builds (buckets + sorts) the overlay CSR; callers issuing many
+    /// queries over the same `G ∪ H` should build a [`UnionGraph`] once and
+    /// reuse its [`UnionGraph::view`] instead.
+    pub fn with_extra(base: &'g Graph, extra: &[(VId, VId, Weight)]) -> Self {
+        UnionView {
+            csr: Cow::Owned(OverlayCsr::build(base.num_vertices(), extra)),
+            base,
+        }
+    }
+
+    /// View over a pre-built overlay CSR (no copying, no sorting).
+    pub fn with_csr(base: &'g Graph, csr: &'g OverlayCsr) -> Self {
+        debug_assert_eq!(csr.off.len(), base.num_vertices() + 1);
+        UnionView {
+            base,
+            csr: Cow::Borrowed(csr),
         }
     }
 
@@ -95,13 +149,13 @@ impl<'g> UnionView<'g> {
     /// processor-allocation accounting of §1.5.1).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.base.num_edges() + self.extra_count
+        self.base.num_edges() + self.csr.extra_count
     }
 
     /// Number of overlay edges.
     #[inline]
     pub fn num_extra(&self) -> usize {
-        self.extra_count
+        self.csr.extra_count
     }
 
     /// The base graph.
@@ -113,7 +167,8 @@ impl<'g> UnionView<'g> {
     /// Total degree of `v` in the union.
     #[inline]
     pub fn degree(&self, v: VId) -> usize {
-        self.base.degree(v) + (self.off[v as usize + 1] - self.off[v as usize])
+        let off = &self.csr.off;
+        self.base.degree(v) + (off[v as usize + 1] - off[v as usize])
     }
 
     /// Visit every `(neighbor, weight, tag)` of `v`: base edges first (sorted
@@ -123,15 +178,17 @@ impl<'g> UnionView<'g> {
         for (nb, w) in self.base.neighbors(v) {
             f(nb, w, EdgeTag::Base);
         }
-        for &(nb, w, idx) in &self.adj[self.off[v as usize]..self.off[v as usize + 1]] {
+        let csr = &*self.csr;
+        for &(nb, w, idx) in &csr.adj[csr.off[v as usize]..csr.off[v as usize + 1]] {
             f(nb, w, EdgeTag::Extra(idx));
         }
     }
 
     /// Iterate neighbors of `v` as an iterator (allocation-free).
     pub fn neighbors(&self, v: VId) -> impl Iterator<Item = (VId, Weight, EdgeTag)> + '_ {
+        let csr = &*self.csr;
         let base = self.base.neighbors(v).map(|(nb, w)| (nb, w, EdgeTag::Base));
-        let extra = self.adj[self.off[v as usize]..self.off[v as usize + 1]]
+        let extra = csr.adj[csr.off[v as usize]..csr.off[v as usize + 1]]
             .iter()
             .map(|&(nb, w, idx)| (nb, w, EdgeTag::Extra(idx)));
         base.chain(extra)
@@ -139,8 +196,9 @@ impl<'g> UnionView<'g> {
 
     /// The minimum weight of an edge `(u, v)` in the union, if any.
     pub fn edge_weight(&self, u: VId, v: VId) -> Option<Weight> {
+        let csr = &*self.csr;
         let base = self.base.edge_weight(u, v);
-        let extra = self.adj[self.off[u as usize]..self.off[u as usize + 1]]
+        let extra = csr.adj[csr.off[u as usize]..csr.off[u as usize + 1]]
             .iter()
             .filter(|e| e.0 == v)
             .map(|e| e.1)
@@ -149,6 +207,66 @@ impl<'g> UnionView<'g> {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
+    }
+}
+
+/// An **owned** union graph `G ∪ H`: the base graph behind an `Arc` plus a
+/// pre-built overlay CSR.
+///
+/// This is the storage a long-lived query engine wants: no graph lifetime
+/// parameter, `Send + Sync` (everything inside is plain owned data), and
+/// [`UnionGraph::view`] is free — the expensive bucketing/sorting of
+/// [`UnionView::with_extra`] happens exactly once, at construction.
+#[derive(Clone, Debug)]
+pub struct UnionGraph {
+    base: Arc<Graph>,
+    csr: OverlayCsr,
+}
+
+impl UnionGraph {
+    /// Own `base` and overlay `extra` on it (builds the overlay CSR once).
+    ///
+    /// Panics on invalid overlay edges, exactly like
+    /// [`UnionView::with_extra`].
+    pub fn new(base: Arc<Graph>, extra: &[(VId, VId, Weight)]) -> Self {
+        let csr = OverlayCsr::build(base.num_vertices(), extra);
+        UnionGraph { base, csr }
+    }
+
+    /// Own `base` with an empty overlay.
+    pub fn base_only(base: Arc<Graph>) -> Self {
+        let csr = OverlayCsr::empty(base.num_vertices());
+        UnionGraph { base, csr }
+    }
+
+    /// A borrowed [`UnionView`] over the owned data — O(1), no allocation.
+    #[inline]
+    pub fn view(&self) -> UnionView<'_> {
+        UnionView::with_csr(&self.base, &self.csr)
+    }
+
+    /// The base graph.
+    #[inline]
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The base graph's `Arc` (cheap to clone, shareable across threads).
+    #[inline]
+    pub fn base_arc(&self) -> &Arc<Graph> {
+        &self.base
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of overlay edges.
+    #[inline]
+    pub fn num_extra(&self) -> usize {
+        self.csr.extra_count
     }
 }
 
@@ -222,5 +340,31 @@ mod tests {
     fn overlay_rejects_bad_weight() {
         let g = path3();
         let _ = UnionView::with_extra(&g, &[(0, 1, -1.0)]);
+    }
+
+    #[test]
+    fn owned_union_graph_matches_borrowed_view() {
+        let g = Arc::new(path3());
+        let extra = vec![(0u32, 3u32, 2.5), (1, 3, 9.0)];
+        let owned = UnionGraph::new(Arc::clone(&g), &extra);
+        let borrowed = UnionView::with_extra(&g, &extra);
+        assert_eq!(owned.num_extra(), 2);
+        for v in 0..4 {
+            let a: Vec<_> = owned.view().neighbors(v).collect();
+            let b: Vec<_> = borrowed.neighbors(v).collect();
+            assert_eq!(a, b, "vertex {v}");
+        }
+        assert_eq!(owned.view().edge_weight(0, 3), Some(2.5));
+    }
+
+    #[test]
+    fn union_graph_is_send_sync_and_shareable() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let ug = UnionGraph::base_only(Arc::new(path3()));
+        assert_send_sync(&ug);
+        let shared = Arc::new(ug);
+        let s2 = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || s2.view().degree(1));
+        assert_eq!(handle.join().unwrap(), 2);
     }
 }

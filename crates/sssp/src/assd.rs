@@ -1,44 +1,56 @@
-//! Approximate single- and multi-source shortest distances (Theorem 3.8).
+//! Approximate single- and multi-source shortest distances (Theorem 3.8) —
+//! the **legacy borrowed engine**.
 //!
 //! Once a `(1+ε, β)`-hopset `H` is built, a `β`-round Bellman–Ford over
 //! `G ∪ H` answers `(1+ε)`-approximate distances from any source; `|S|`
 //! explorations run in parallel for the multi-source problem (aMSSD),
 //! adding `O(|S|)` processors per vertex/edge and no extra depth.
+//!
+//! New code should use the owned, thread-safe facade instead:
+//! [`crate::Oracle::builder`]. This engine borrows the graph with a
+//! lifetime (so it cannot sit behind an `Arc` and serve concurrent
+//! traffic) and is kept as a thin deprecated shim for one release.
 
+use crate::oracle::DistanceMatrix;
+// Re-exported at its pre-0.2 path: `MultiSourceResult` now lives in
+// `crate::oracle`, but legacy imports keep compiling for one release.
+pub use crate::oracle::MultiSourceResult;
 use hopset::{build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamError, ParamMode};
 use pgraph::{Graph, UnionView, VId, Weight};
 use pram::{bford, Ledger};
 use rayon::prelude::*;
 
-/// A built query engine: the graph plus its hopset.
+/// A built query engine: the graph plus its hopset, borrowed for `'g`.
+///
+/// Superseded by [`crate::Oracle`] (owned, `Send + Sync`, one
+/// configuration path); see the constructors' deprecation notes for the
+/// exact replacements.
 pub struct ApproxShortestPaths<'g> {
     g: &'g Graph,
     built: BuiltHopset,
-    overlay: Vec<(VId, VId, Weight)>,
-}
-
-/// Result of a multi-source (aMSSD) query.
-#[derive(Clone, Debug)]
-pub struct MultiSourceResult {
-    /// `dist[i][v]` = approximate distance from `sources[i]` to `v`.
-    pub dist: Vec<Vec<Weight>>,
-    /// The sources queried.
-    pub sources: Vec<VId>,
-    /// Combined PRAM cost: depth = max over explorations (they run in
-    /// parallel), work = sum.
-    pub ledger: Ledger,
+    /// The `G ∪ H` union CSR, built once at construction and reused by
+    /// every query (formerly rebuilt per call).
+    view: UnionView<'g>,
 }
 
 impl<'g> ApproxShortestPaths<'g> {
     /// Build with practical defaults (`ρ = 1/κ`, the setting of the SSSP
     /// corollary after Theorem 3.8). `eps ∈ (0,1)`, `kappa ≥ 2`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use sssp::Oracle::builder(graph).eps(eps).kappa(kappa).build()"
+    )]
     pub fn build(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
         let params =
             HopsetParams::practical(g.num_vertices().max(2), eps, kappa, g.aspect_ratio_bound())?;
-        Ok(Self::from_params(g, &params))
+        Ok(Self::from_params_inner(g, &params))
     }
 
     /// Build with explicit parameters (any mode).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use sssp::Oracle::builder(graph).eps(..).kappa(..).rho(..).mode(..).hop_cap(..).build()"
+    )]
     pub fn with_params(
         g: &'g Graph,
         eps: f64,
@@ -56,14 +68,23 @@ impl<'g> ApproxShortestPaths<'g> {
             g.aspect_ratio_bound(),
             hop_cap,
         )?;
-        Ok(Self::from_params(g, &params))
+        Ok(Self::from_params_inner(g, &params))
     }
 
     /// Build from pre-derived parameters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use sssp::Oracle::builder — it derives parameters from one configuration path"
+    )]
     pub fn from_params(g: &'g Graph, params: &HopsetParams) -> Self {
+        Self::from_params_inner(g, params)
+    }
+
+    fn from_params_inner(g: &'g Graph, params: &HopsetParams) -> Self {
         let built = build_hopset(g, params, BuildOptions::default());
         let overlay = built.overlay();
-        ApproxShortestPaths { g, built, overlay }
+        let view = UnionView::with_extra(g, &overlay);
+        ApproxShortestPaths { g, built, view }
     }
 
     /// The underlying hopset and construction report.
@@ -89,9 +110,8 @@ impl<'g> ApproxShortestPaths<'g> {
 
     /// Same, returning the query's PRAM cost.
     pub fn distances_from_with_ledger(&self, source: VId) -> (Vec<Weight>, Ledger) {
-        let view = UnionView::with_extra(self.g, &self.overlay);
         let mut ledger = Ledger::new();
-        let r = bford::bellman_ford(&view, &[source], self.query_hops(), &mut ledger);
+        let r = bford::bellman_ford(&self.view, &[source], self.query_hops(), &mut ledger);
         (r.dist, ledger)
     }
 
@@ -99,21 +119,20 @@ impl<'g> ApproxShortestPaths<'g> {
     /// Theorem 3.8): `|S|` independent `β`-round explorations, executed in
     /// parallel (work adds, depth does not).
     pub fn distances_multi(&self, sources: &[VId]) -> MultiSourceResult {
-        let view = UnionView::with_extra(self.g, &self.overlay);
         let hops = self.query_hops();
         let per_source: Vec<(Vec<Weight>, Ledger)> = sources
             .par_iter()
             .map(|&s| {
                 let mut ledger = Ledger::new();
-                let r = bford::bellman_ford(&view, &[s], hops, &mut ledger);
+                let r = bford::bellman_ford(&self.view, &[s], hops, &mut ledger);
                 (r.dist, ledger)
             })
             .collect();
         let mut ledger = Ledger::new();
-        let mut dist = Vec::with_capacity(sources.len());
-        for (d, l) in per_source {
-            ledger.absorb_parallel(&l);
-            dist.push(d);
+        let mut dist = DistanceMatrix::with_capacity(sources.len(), self.g.num_vertices());
+        for (row, l) in &per_source {
+            ledger.absorb_parallel(l);
+            dist.push_row(row);
         }
         MultiSourceResult {
             dist,
@@ -126,14 +145,14 @@ impl<'g> ApproxShortestPaths<'g> {
     /// "forest" flavor of aMSSD used e.g. for facility-location style
     /// queries.
     pub fn distances_to_nearest(&self, sources: &[VId]) -> Vec<Weight> {
-        let view = UnionView::with_extra(self.g, &self.overlay);
         let mut ledger = Ledger::new();
-        bford::bellman_ford(&view, sources, self.query_hops(), &mut ledger).dist
+        bford::bellman_ford(&self.view, sources, self.query_hops(), &mut ledger).dist
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use pgraph::exact::dijkstra;
     use pgraph::{gen, INF};
@@ -158,7 +177,7 @@ mod tests {
         let multi = asp.distances_multi(&sources);
         for (i, &s) in sources.iter().enumerate() {
             let single = asp.distances_from(s);
-            assert_eq!(multi.dist[i], single, "source {s}");
+            assert_eq!(multi.dist.row(i), &single[..], "source {s}");
         }
         // Depth of the parallel batch equals the max single depth.
         let (_, l) = asp.distances_from_with_ledger(0);

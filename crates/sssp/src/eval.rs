@@ -33,6 +33,19 @@ pub fn stretch_vs_hops(
     budgets: &[usize],
 ) -> Vec<HopCurvePoint> {
     let view = UnionView::with_extra(g, overlay);
+    stretch_vs_hops_view(&view, sources, budgets)
+}
+
+/// Like [`stretch_vs_hops`], but over a pre-built `G ∪ H` view — the entry
+/// point the owned [`crate::Oracle`] uses, so the overlay CSR is not
+/// rebuilt per measurement. Exact references come from the view's base
+/// graph.
+pub fn stretch_vs_hops_view(
+    view: &UnionView<'_>,
+    sources: &[VId],
+    budgets: &[usize],
+) -> Vec<HopCurvePoint> {
+    let g = view.base();
     let exact: Vec<Vec<Weight>> = sources.iter().map(|&s| dijkstra(g, s).dist).collect();
     budgets
         .iter()
@@ -42,7 +55,7 @@ pub fn stretch_vs_hops(
             let mut cnt = 0usize;
             let mut unreached = 0usize;
             for (si, &s) in sources.iter().enumerate() {
-                let approx = bellman_ford_hops(&view, &[s], hops);
+                let approx = bellman_ford_hops(view, &[s], hops);
                 for v in 0..g.num_vertices() {
                     let e = exact[si][v];
                     if e == 0.0 || e == INF {

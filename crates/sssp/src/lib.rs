@@ -7,17 +7,23 @@
 //! aspect-ratio assumption), plus the baselines the experiments compare
 //! against and the stretch-measurement utilities.
 //!
+//! The public query surface is the [`oracle`] module: one owned,
+//! `Send + Sync` [`Oracle`] (built fluently with [`Oracle::builder`])
+//! serves every query the paper supports, and the [`DistanceOracle`]
+//! trait puts the exact baselines ([`DeltaSteppingOracle`],
+//! [`DijkstraOracle`]) behind the same interface.
+//!
 //! ```
 //! use pgraph::gen;
-//! use sssp::ApproxShortestPaths;
+//! use sssp::{DistanceOracle, Oracle};
 //!
 //! let g = gen::gnm_connected(128, 384, 3, 1.0, 8.0);
-//! let asp = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
-//! let d = asp.distances_from(0);
 //! let exact = pgraph::exact::dijkstra(&g, 0).dist;
+//! let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+//! let d = oracle.distances_from(0).unwrap();
 //! for v in 0..128 {
 //!     assert!(d[v] >= exact[v] - 1e-9);
-//!     assert!(d[v] <= 1.25 * exact[v] + 1e-9);
+//!     assert!(d[v] <= oracle.stretch_bound() * exact[v] + 1e-9);
 //! }
 //! ```
 
@@ -25,9 +31,14 @@ pub mod assd;
 pub mod baseline;
 pub mod delta_stepping;
 pub mod eval;
+pub mod oracle;
 pub mod spt;
 
-pub use assd::{ApproxShortestPaths, MultiSourceResult};
+pub use assd::ApproxShortestPaths;
 pub use delta_stepping::{delta_stepping, DeltaSteppingResult};
 pub use eval::{stretch_vs_hops, HopCurvePoint};
+pub use oracle::{
+    DeltaSteppingOracle, DijkstraOracle, DistanceMatrix, DistanceOracle, MultiSourceResult, Oracle,
+    OracleBuilder, Pipeline, SsspError,
+};
 pub use spt::ApproxSptEngine;

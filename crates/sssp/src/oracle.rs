@@ -1,0 +1,989 @@
+//! The unified distance-oracle facade: one owned, thread-safe query object
+//! over every backend in the workspace.
+//!
+//! The paper's whole point is that a single artifact — the deterministic
+//! `(1+ε, β)`-hopset of Theorem 3.7 — answers *every* downstream query:
+//! approximate single-source distances (aSSSD, Theorem 3.8), multi-source
+//! batches (aMSSD), and `(1+ε)`-shortest-path trees (Theorems 4.6/D.2).
+//! This module makes that one artifact one *object*:
+//!
+//! * [`DistanceOracle`] — the object-safe query trait (`distances_from`,
+//!   [`distances_multi`](DistanceOracle::distances_multi),
+//!   [`distance`](DistanceOracle::distance), nearest-source,
+//!   [`stretch_bound`](DistanceOracle::stretch_bound), and
+//!   [`cost`](DistanceOracle::cost) ledger reporting), implemented by the
+//!   hopset engine and by the exact baselines, so experiments and callers
+//!   compare backends generically;
+//! * [`Oracle`] + [`OracleBuilder`] — the hopset engine, built fluently
+//!   (`Oracle::builder(g).eps(0.25).kappa(4).paths(true).build()?`). It
+//!   **owns** the graph via `Arc<Graph>`, pre-builds the `G ∪ H` union CSR
+//!   once (queries reuse it), auto-selects the plain (§2) vs
+//!   Klein–Sairam-reduced (Appendix C) pipeline from the aspect-ratio
+//!   bound, and serves SPT extraction from the same built object;
+//! * [`DeltaSteppingOracle`] / [`DijkstraOracle`] — the exact baselines of
+//!   experiment E10 behind the same trait;
+//! * [`SsspError`] — one error type for parameter validation, invalid
+//!   sources, and configuration conflicts (no panics in the query path);
+//! * [`DistanceMatrix`] — flat row-major storage for multi-source results
+//!   (one allocation, cache-friendly).
+//!
+//! Everything here is owned data: `Oracle` is `Send + Sync`, so an
+//! `Arc<Oracle>` can serve concurrent query traffic from many threads —
+//! the serving-system architecture the ROADMAP targets.
+//!
+//! ```
+//! use pgraph::gen;
+//! use sssp::{DistanceOracle, Oracle};
+//!
+//! let g = gen::road_grid(8, 8, 3, 1.0, 6.0);
+//! let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+//! let d = oracle.distances_from(0).unwrap();
+//! assert!(d[63].is_finite());
+//! assert!(oracle.stretch_bound() == 1.25);
+//! ```
+
+use crate::delta_stepping::{default_delta, delta_stepping};
+use hopset::multi_scale::{build_hopset, BuildOptions, BuiltHopset};
+use hopset::params::{HopsetParams, ParamError, ParamMode};
+use hopset::path_report::{build_spt_on, build_spt_reduced_on, SptResult};
+use hopset::reduction::{build_reduced_hopset, ReducedHopset};
+use pgraph::{ceil_log2, Graph, UnionGraph, VId, Weight, INF};
+use pram::{bford, Ledger};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Unified error type of the query layer: parameter validation, invalid
+/// sources, and builder configuration conflicts. Replaces the panics and
+/// ad-hoc `Result` shapes of the pre-oracle API.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SsspError {
+    /// Hopset parameter validation failed (ε, κ, ρ, n out of range).
+    Params(ParamError),
+    /// A query named a vertex outside `[0, n)` (as a source **or** a
+    /// destination — `source` holds whichever argument was offending).
+    InvalidSource {
+        /// The offending vertex id.
+        source: VId,
+        /// Number of vertices of the oracle's graph.
+        n: usize,
+    },
+    /// The query needs recorded memory paths, but the oracle was built
+    /// without [`OracleBuilder::paths`]`(true)`.
+    PathsNotRecorded,
+    /// Builder options conflict (the message names the conflict).
+    Config(String),
+}
+
+impl std::fmt::Display for SsspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SsspError::Params(e) => write!(f, "invalid parameters: {e}"),
+            SsspError::InvalidSource { source, n } => {
+                write!(
+                    f,
+                    "query vertex {source} out of range (graph has {n} vertices)"
+                )
+            }
+            SsspError::PathsNotRecorded => write!(
+                f,
+                "SPT extraction requires an oracle built with .paths(true)"
+            ),
+            SsspError::Config(msg) => write!(f, "conflicting oracle configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SsspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SsspError::Params(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamError> for SsspError {
+    fn from(e: ParamError) -> Self {
+        SsspError::Params(e)
+    }
+}
+
+#[inline]
+fn check_source(n: usize, v: VId) -> Result<(), SsspError> {
+    if (v as usize) < n {
+        Ok(())
+    } else {
+        Err(SsspError::InvalidSource { source: v, n })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DistanceMatrix / MultiSourceResult
+// ---------------------------------------------------------------------------
+
+/// Flat row-major distance matrix: row `i` holds the distances from the
+/// `i`-th queried source to every vertex. One allocation, cache-friendly —
+/// the serving-ready replacement for `Vec<Vec<Weight>>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceMatrix {
+    /// Row-major data: `data[i * num_targets + v]`.
+    data: Vec<Weight>,
+    /// Row length (the number of vertices of the queried graph).
+    num_targets: usize,
+}
+
+impl DistanceMatrix {
+    /// An empty matrix with `num_targets` columns.
+    pub fn with_targets(num_targets: usize) -> Self {
+        DistanceMatrix {
+            data: Vec::new(),
+            num_targets,
+        }
+    }
+
+    /// An empty matrix pre-allocating space for `rows` rows.
+    pub fn with_capacity(rows: usize, num_targets: usize) -> Self {
+        DistanceMatrix {
+            data: Vec::with_capacity(rows * num_targets),
+            num_targets,
+        }
+    }
+
+    /// Append one row. Panics if `row.len() != num_targets` (rows are
+    /// produced by this crate's own query engines).
+    pub fn push_row(&mut self, row: &[Weight]) {
+        assert_eq!(row.len(), self.num_targets, "row length mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of rows (sources).
+    #[inline]
+    pub fn num_sources(&self) -> usize {
+        self.data.len().checked_div(self.num_targets).unwrap_or(0)
+    }
+
+    /// Number of columns (target vertices).
+    #[inline]
+    pub fn num_targets(&self) -> usize {
+        self.num_targets
+    }
+
+    /// Row `i`: the distances from the `i`-th source to every vertex.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Weight] {
+        &self.data[i * self.num_targets..(i + 1) * self.num_targets]
+    }
+
+    /// The flat row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Weight] {
+        &self.data
+    }
+
+    /// Copy out into the legacy nested shape (tests, pretty-printing).
+    pub fn to_nested(&self) -> Vec<Vec<Weight>> {
+        (0..self.num_sources())
+            .map(|i| self.row(i).to_vec())
+            .collect()
+    }
+}
+
+/// Result of a multi-source (aMSSD) query.
+#[derive(Clone, Debug)]
+pub struct MultiSourceResult {
+    /// `dist.row(i)[v]` = approximate distance from `sources[i]` to `v`.
+    pub dist: DistanceMatrix,
+    /// The sources queried.
+    pub sources: Vec<VId>,
+    /// Combined PRAM cost: depth = max over explorations (they run in
+    /// parallel), work = sum.
+    pub ledger: Ledger,
+}
+
+// ---------------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------------
+
+/// An object-safe, thread-safe distance oracle over a fixed graph.
+///
+/// Implemented by the hopset engine ([`Oracle`]) and the exact baselines
+/// ([`DeltaSteppingOracle`], [`DijkstraOracle`]), so that experiments,
+/// benchmarks, and callers compare backends through one surface:
+///
+/// ```
+/// use pgraph::gen;
+/// use sssp::{DeltaSteppingOracle, DijkstraOracle, DistanceOracle, Oracle};
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(gen::path(32));
+/// let backends: Vec<Box<dyn DistanceOracle>> = vec![
+///     Box::new(Oracle::builder(Arc::clone(&g)).build().unwrap()),
+///     Box::new(DeltaSteppingOracle::new(Arc::clone(&g))),
+///     Box::new(DijkstraOracle::new(g)),
+/// ];
+/// for b in &backends {
+///     let d = b.distances_from(0).unwrap();
+///     assert!(d[31] <= b.stretch_bound() * 31.0 + 1e-9);
+/// }
+/// ```
+///
+/// The `Send + Sync` supertrait is the serving contract: every implementor
+/// owns its data (no graph lifetime parameter), so `Arc<dyn DistanceOracle>`
+/// can be queried from many threads concurrently.
+pub trait DistanceOracle: Send + Sync {
+    /// A short stable backend name (table rows, logs).
+    fn name(&self) -> &'static str;
+
+    /// Number of vertices of the underlying graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Guaranteed multiplicative stretch: answers are within
+    /// `[d, stretch_bound() * d]` of the exact distance `d`. Exact backends
+    /// return `1.0`.
+    fn stretch_bound(&self) -> f64;
+
+    /// The construction-cost ledger (PRAM work/depth paid up front, before
+    /// any query). Exact baselines have no precomputation and report an
+    /// empty ledger.
+    fn cost(&self) -> &Ledger;
+
+    /// Distances from one source plus the query's own PRAM cost.
+    fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError>;
+
+    /// Distances from one source (aSSSD).
+    fn distances_from(&self, source: VId) -> Result<Vec<Weight>, SsspError> {
+        Ok(self.distances_from_with_ledger(source)?.0)
+    }
+
+    /// Distances for all pairs in `S × V` (aMSSD): `|S|` independent
+    /// explorations, charged as parallel (work adds, depth does not).
+    fn distances_multi(&self, sources: &[VId]) -> Result<MultiSourceResult, SsspError> {
+        let n = self.num_vertices();
+        let mut dist = DistanceMatrix::with_capacity(sources.len(), n);
+        let mut ledger = Ledger::new();
+        for &s in sources {
+            let (row, l) = self.distances_from_with_ledger(s)?;
+            ledger.absorb_parallel(&l);
+            dist.push_row(&row);
+        }
+        Ok(MultiSourceResult {
+            dist,
+            sources: sources.to_vec(),
+            ledger,
+        })
+    }
+
+    /// Nearest-source distances: `min_{s ∈ S} d(s, v)` for every `v` — the
+    /// "forest" flavor of aMSSD (facility-location style queries).
+    fn distances_to_nearest(&self, sources: &[VId]) -> Result<Vec<Weight>, SsspError> {
+        let n = self.num_vertices();
+        let mut best = vec![INF; n];
+        for &s in sources {
+            let row = self.distances_from(s)?;
+            for (b, d) in best.iter_mut().zip(&row) {
+                if *d < *b {
+                    *b = *d;
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Point-to-point distance `u → v`.
+    fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
+        check_source(self.num_vertices(), v)?;
+        Ok(self.distances_from(u)?[v as usize])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The hopset oracle + builder
+// ---------------------------------------------------------------------------
+
+/// Which hopset pipeline backs (or should back) an [`Oracle`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pipeline {
+    /// Pick from the aspect-ratio bound: plain while `Λ ≤ n²` (the `log Λ`
+    /// scale count stays within the poly(n) budget of §2), Klein–Sairam
+    /// reduced beyond (Appendix C keeps every level's aspect at `O(n/ε)`).
+    Auto,
+    /// §2/§3: bounded aspect ratio, plain multi-scale (Theorems 3.7/4.6).
+    Plain,
+    /// Appendix C/D: weight-reduced, no aspect-ratio assumption
+    /// (Theorems C.3/D.2).
+    Reduced,
+}
+
+#[derive(Debug)]
+enum OracleBackend {
+    Plain(BuiltHopset),
+    Reduced(ReducedHopset),
+}
+
+/// Fluent configuration for [`Oracle`]. Obtain via [`Oracle::builder`];
+/// every setter has a documented default, and [`OracleBuilder::build`]
+/// validates the combination (returning [`SsspError`] instead of panicking).
+#[derive(Clone, Debug)]
+pub struct OracleBuilder {
+    graph: Arc<Graph>,
+    eps: f64,
+    kappa: usize,
+    rho: Option<f64>,
+    mode: ParamMode,
+    hop_cap: Option<usize>,
+    paths: bool,
+    pipeline: Pipeline,
+}
+
+impl OracleBuilder {
+    /// Target stretch `1 + eps`, `eps ∈ (0, 1)`. Default `0.25`.
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sparsity parameter `κ ≥ 2` (hopset size `O(n^{1+1/κ})` per scale).
+    /// Default `4`.
+    pub fn kappa(mut self, kappa: usize) -> Self {
+        self.kappa = kappa;
+        self
+    }
+
+    /// Work parameter `ρ ∈ (0, 1/2)`. Default `min(1/κ, 0.499…)` — the
+    /// setting of the SSSP corollary after Theorem 3.8.
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.rho = Some(rho);
+        self
+    }
+
+    /// Constant-instantiation mode ([`ParamMode::Practical`] by default).
+    pub fn mode(mut self, mode: ParamMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Clamp exploration/query hop budgets (practical-scale runs). Only
+    /// meaningful on the plain pipeline; conflicts with
+    /// [`Pipeline::Reduced`] (under [`Pipeline::Auto`] it forces plain).
+    pub fn hop_cap(mut self, cap: usize) -> Self {
+        self.hop_cap = Some(cap);
+        self
+    }
+
+    /// Record memory paths on every hopset edge (§4), enabling
+    /// [`Oracle::spt`]. Default `false` (paths cost memory).
+    pub fn paths(mut self, record: bool) -> Self {
+        self.paths = record;
+        self
+    }
+
+    /// Select the construction pipeline explicitly. Default
+    /// [`Pipeline::Auto`].
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Build the oracle: validate the configuration, run the deterministic
+    /// hopset construction, and assemble the owned `G ∪ H` union CSR that
+    /// every subsequent query reuses.
+    pub fn build(self) -> Result<Oracle, SsspError> {
+        let g = &self.graph;
+        let n = g.num_vertices().max(2);
+        let aspect = g.aspect_ratio_bound();
+        let rho = self
+            .rho
+            .unwrap_or_else(|| (1.0 / self.kappa as f64).min(0.499_999));
+
+        let pipeline = match self.pipeline {
+            Pipeline::Plain => Pipeline::Plain,
+            Pipeline::Reduced => {
+                if self.hop_cap.is_some() {
+                    return Err(SsspError::Config(
+                        "hop_cap applies to the plain pipeline only; the reduced pipeline's \
+                         hop budget is 6β+5 (Theorem C.3)"
+                            .into(),
+                    ));
+                }
+                Pipeline::Reduced
+            }
+            Pipeline::Auto => {
+                // Plain pays ⌈log Λ⌉ scales; beyond Λ = n² the reduction's
+                // per-level O(n/ε) aspect bound wins. A hop cap is a
+                // plain-pipeline knob, so it pins Auto to plain.
+                if self.hop_cap.is_none() && aspect > (n as f64).powi(2) {
+                    Pipeline::Reduced
+                } else {
+                    Pipeline::Plain
+                }
+            }
+        };
+
+        let opts = BuildOptions {
+            record_paths: self.paths,
+        };
+        let (backend, query_hops) = match pipeline {
+            Pipeline::Plain => {
+                let params = HopsetParams::new(
+                    n,
+                    self.eps,
+                    self.kappa,
+                    rho,
+                    self.mode,
+                    aspect,
+                    self.hop_cap,
+                )?;
+                let built = build_hopset(g, &params, opts);
+                let hops = built.params.query_hops;
+                (OracleBackend::Plain(built), hops)
+            }
+            Pipeline::Reduced => {
+                let reduced = build_reduced_hopset(g, self.eps, self.kappa, rho, self.mode, opts)?;
+                let hops = reduced.query_hops;
+                (OracleBackend::Reduced(reduced), hops)
+            }
+            Pipeline::Auto => unreachable!("resolved above"),
+        };
+
+        // Satellite of the redesign: the union CSR is built exactly once;
+        // distances_from / distances_multi / spt all reuse it.
+        let overlay = match &backend {
+            OracleBackend::Plain(b) => b.hopset.overlay_all(),
+            OracleBackend::Reduced(r) => r.hopset.overlay_all(),
+        };
+        let union = UnionGraph::new(Arc::clone(&self.graph), &overlay);
+
+        Ok(Oracle {
+            union,
+            backend,
+            eps: self.eps,
+            kappa: self.kappa,
+            query_hops,
+            paths: self.paths,
+        })
+    }
+}
+
+/// The hopset-backed distance oracle: the paper's one artifact as one
+/// owned, thread-safe object.
+///
+/// Built once via [`Oracle::builder`], it serves aSSSD
+/// ([`DistanceOracle::distances_from`]), aMSSD batches
+/// ([`DistanceOracle::distances_multi`]), nearest-source queries,
+/// point-to-point [`DistanceOracle::distance`], and — when built with
+/// [`OracleBuilder::paths`]`(true)` — `(1+ε)`-shortest-path trees
+/// ([`Oracle::spt`]), all from the same pre-built `G ∪ H` union CSR.
+///
+/// `Oracle` is `Send + Sync` and owns the graph via `Arc<Graph>`: wrap it
+/// in an `Arc` and query it from as many threads as you like.
+#[derive(Debug)]
+pub struct Oracle {
+    union: UnionGraph,
+    backend: OracleBackend,
+    eps: f64,
+    kappa: usize,
+    query_hops: usize,
+    paths: bool,
+}
+
+impl Oracle {
+    /// Start configuring an oracle over `graph` (accepts a `Graph` by value
+    /// or an existing `Arc<Graph>`).
+    pub fn builder(graph: impl Into<Arc<Graph>>) -> OracleBuilder {
+        OracleBuilder {
+            graph: graph.into(),
+            eps: 0.25,
+            kappa: 4,
+            rho: None,
+            mode: ParamMode::Practical,
+            hop_cap: None,
+            paths: false,
+            pipeline: Pipeline::Auto,
+        }
+    }
+
+    /// The graph the oracle answers queries on.
+    pub fn graph(&self) -> &Graph {
+        self.union.base()
+    }
+
+    /// The shared handle to the graph (cheap to clone).
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        self.union.base_arc()
+    }
+
+    /// The ε the oracle was built with (stretch bound is `1 + ε`).
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The κ the oracle was built with.
+    pub fn kappa(&self) -> usize {
+        self.kappa
+    }
+
+    /// The hop budget queries run with (β, or 6β+5 on the reduced pipeline).
+    pub fn query_hops(&self) -> usize {
+        self.query_hops
+    }
+
+    /// Which pipeline backs the oracle ([`Pipeline::Plain`] or
+    /// [`Pipeline::Reduced`]; never `Auto` after building).
+    pub fn pipeline(&self) -> Pipeline {
+        match &self.backend {
+            OracleBackend::Plain(_) => Pipeline::Plain,
+            OracleBackend::Reduced(_) => Pipeline::Reduced,
+        }
+    }
+
+    /// Number of hopset edges backing the oracle.
+    pub fn hopset_size(&self) -> usize {
+        match &self.backend {
+            OracleBackend::Plain(b) => b.hopset.len(),
+            OracleBackend::Reduced(r) => r.hopset.len(),
+        }
+    }
+
+    /// Whether memory paths were recorded (i.e. [`Oracle::spt`] works).
+    pub fn has_paths(&self) -> bool {
+        self.paths
+    }
+
+    /// The plain-pipeline construction report, if that pipeline backs the
+    /// oracle.
+    pub fn built(&self) -> Option<&BuiltHopset> {
+        match &self.backend {
+            OracleBackend::Plain(b) => Some(b),
+            OracleBackend::Reduced(_) => None,
+        }
+    }
+
+    /// The reduced-pipeline construction report, if that pipeline backs the
+    /// oracle.
+    pub fn reduced(&self) -> Option<&ReducedHopset> {
+        match &self.backend {
+            OracleBackend::Plain(_) => None,
+            OracleBackend::Reduced(r) => Some(r),
+        }
+    }
+
+    /// Extract the `(1+ε)`-shortest-path tree rooted at `source`
+    /// (Theorem 4.6 / D.2). Requires [`OracleBuilder::paths`]`(true)`.
+    pub fn spt(&self, source: VId) -> Result<SptResult, SsspError> {
+        check_source(self.num_vertices(), source)?;
+        if !self.paths {
+            return Err(SsspError::PathsNotRecorded);
+        }
+        let view = self.union.view();
+        Ok(match &self.backend {
+            OracleBackend::Plain(b) => build_spt_on(&view, b, source),
+            OracleBackend::Reduced(r) => build_spt_reduced_on(&view, r, source),
+        })
+    }
+
+    /// Measure the stretch-vs-hop-budget curve of this oracle's `G ∪ H`
+    /// (experiment F2) from `sources` at each budget in `budgets`.
+    pub fn stretch_curve(
+        &self,
+        sources: &[VId],
+        budgets: &[usize],
+    ) -> Result<Vec<crate::eval::HopCurvePoint>, SsspError> {
+        for &s in sources {
+            check_source(self.num_vertices(), s)?;
+        }
+        Ok(crate::eval::stretch_vs_hops_view(
+            &self.union.view(),
+            sources,
+            budgets,
+        ))
+    }
+}
+
+impl DistanceOracle for Oracle {
+    fn name(&self) -> &'static str {
+        match &self.backend {
+            OracleBackend::Plain(_) => "hopset",
+            OracleBackend::Reduced(_) => "hopset-reduced",
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.union.num_vertices()
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        1.0 + self.eps
+    }
+
+    fn cost(&self) -> &Ledger {
+        match &self.backend {
+            OracleBackend::Plain(b) => &b.ledger,
+            OracleBackend::Reduced(r) => &r.ledger,
+        }
+    }
+
+    fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
+        check_source(self.num_vertices(), source)?;
+        let mut ledger = Ledger::new();
+        let r = bford::bellman_ford(&self.union.view(), &[source], self.query_hops, &mut ledger);
+        Ok((r.dist, ledger))
+    }
+
+    /// `|S|` independent β-hop explorations over the shared union CSR,
+    /// executed in parallel (Theorem 3.8: work adds, depth does not).
+    fn distances_multi(&self, sources: &[VId]) -> Result<MultiSourceResult, SsspError> {
+        let n = self.num_vertices();
+        for &s in sources {
+            check_source(n, s)?;
+        }
+        let hops = self.query_hops;
+        let per_source: Vec<(Vec<Weight>, Ledger)> = sources
+            .par_iter()
+            .map(|&s| {
+                let mut ledger = Ledger::new();
+                let r = bford::bellman_ford(&self.union.view(), &[s], hops, &mut ledger);
+                (r.dist, ledger)
+            })
+            .collect();
+        let mut ledger = Ledger::new();
+        let mut dist = DistanceMatrix::with_capacity(sources.len(), n);
+        for (row, l) in &per_source {
+            ledger.absorb_parallel(l);
+            dist.push_row(row);
+        }
+        Ok(MultiSourceResult {
+            dist,
+            sources: sources.to_vec(),
+            ledger,
+        })
+    }
+
+    /// One multi-source exploration (not `|S|` of them): the hopset engine
+    /// answers nearest-source queries in a single β-round pass.
+    fn distances_to_nearest(&self, sources: &[VId]) -> Result<Vec<Weight>, SsspError> {
+        let n = self.num_vertices();
+        for &s in sources {
+            check_source(n, s)?;
+        }
+        let mut ledger = Ledger::new();
+        let r = bford::bellman_ford(&self.union.view(), sources, self.query_hops, &mut ledger);
+        Ok(r.dist)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline oracles
+// ---------------------------------------------------------------------------
+
+/// Δ-stepping \[Meyer–Sanders 2003\] behind the [`DistanceOracle`] trait:
+/// exact answers, no precomputation, `Θ(diameter/Δ)` depth — the practical
+/// parallel competitor of experiment E10.
+pub struct DeltaSteppingOracle {
+    graph: Arc<Graph>,
+    delta: Weight,
+    build_cost: Ledger,
+}
+
+impl DeltaSteppingOracle {
+    /// Use the standard width heuristic [`default_delta`].
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        let graph = graph.into();
+        let delta = default_delta(&graph);
+        DeltaSteppingOracle {
+            graph,
+            delta,
+            build_cost: Ledger::new(),
+        }
+    }
+
+    /// Use an explicit bucket width `delta > 0`.
+    pub fn with_delta(graph: impl Into<Arc<Graph>>, delta: Weight) -> Result<Self, SsspError> {
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err(SsspError::Config(format!(
+                "delta-stepping bucket width must be positive and finite, got {delta}"
+            )));
+        }
+        Ok(DeltaSteppingOracle {
+            graph: graph.into(),
+            delta,
+            build_cost: Ledger::new(),
+        })
+    }
+
+    /// The bucket width in use.
+    pub fn delta(&self) -> Weight {
+        self.delta
+    }
+}
+
+impl DistanceOracle for DeltaSteppingOracle {
+    fn name(&self) -> &'static str {
+        "delta-stepping"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        1.0
+    }
+
+    fn cost(&self) -> &Ledger {
+        &self.build_cost
+    }
+
+    fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
+        check_source(self.num_vertices(), source)?;
+        let r = delta_stepping(&self.graph, source, self.delta);
+        Ok((r.dist, r.ledger))
+    }
+}
+
+/// Exact sequential Dijkstra behind the [`DistanceOracle`] trait: the work
+/// and wall-clock baseline of experiment E10. Its ledger charges every
+/// operation as its own round (a sequential machine has depth = work).
+pub struct DijkstraOracle {
+    graph: Arc<Graph>,
+    build_cost: Ledger,
+}
+
+impl DijkstraOracle {
+    /// Wrap `graph`; there is no precomputation.
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        DijkstraOracle {
+            graph: graph.into(),
+            build_cost: Ledger::new(),
+        }
+    }
+}
+
+impl DistanceOracle for DijkstraOracle {
+    fn name(&self) -> &'static str {
+        "dijkstra"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        1.0
+    }
+
+    fn cost(&self) -> &Ledger {
+        &self.build_cost
+    }
+
+    fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
+        check_source(self.num_vertices(), source)?;
+        let r = pgraph::exact::dijkstra(&self.graph, source);
+        // Sequential accounting: 2m edge relaxations + n log n heap
+        // operations, one per round.
+        let n = self.graph.num_vertices().max(1);
+        let ops = 2 * self.graph.num_edges() as u64 + (n as u64) * ceil_log2(n).max(1) as u64;
+        let mut ledger = Ledger::new();
+        ledger.steps(ops, 1);
+        Ok((r.dist, ledger))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgraph::exact::dijkstra;
+    use pgraph::gen;
+
+    #[test]
+    fn builder_defaults_match_contract() {
+        let g = gen::gnm_connected(120, 360, 6, 1.0, 9.0);
+        let oracle = Oracle::builder(g).build().unwrap();
+        assert_eq!(oracle.pipeline(), Pipeline::Plain);
+        assert_eq!(oracle.stretch_bound(), 1.25);
+        let exact = dijkstra(oracle.graph(), 17).dist;
+        let d = oracle.distances_from(17).unwrap();
+        for v in 0..120 {
+            assert!(d[v] >= exact[v] - 1e-6 * exact[v].max(1.0));
+            assert!(d[v] <= 1.25 * exact[v] + 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn auto_pipeline_selects_reduced_on_huge_aspect() {
+        let g = gen::exponential_path(28, 3.0); // aspect 3^26 >> n^2
+        let oracle = Oracle::builder(g).eps(0.5).build().unwrap();
+        assert_eq!(oracle.pipeline(), Pipeline::Reduced);
+        assert_eq!(oracle.name(), "hopset-reduced");
+        let exact = dijkstra(oracle.graph(), 0).dist;
+        let d = oracle.distances_from(0).unwrap();
+        for v in 0..28 {
+            assert!(d[v] >= exact[v] * (1.0 - 1e-9));
+            assert!(d[v] <= 1.5 * exact[v] + 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn auto_pipeline_stays_plain_on_unit_weights() {
+        let g = gen::path(64);
+        let oracle = Oracle::builder(g).build().unwrap();
+        assert_eq!(oracle.pipeline(), Pipeline::Plain);
+        assert_eq!(oracle.name(), "hopset");
+    }
+
+    #[test]
+    fn builder_errors_are_typed() {
+        let g = Arc::new(gen::path(16));
+        match Oracle::builder(Arc::clone(&g)).eps(2.0).build() {
+            Err(SsspError::Params(ParamError::BadEps(e))) => assert_eq!(e, 2.0),
+            other => panic!("expected BadEps, got {other:?}"),
+        }
+        match Oracle::builder(Arc::clone(&g))
+            .hop_cap(16)
+            .pipeline(Pipeline::Reduced)
+            .build()
+        {
+            Err(SsspError::Config(msg)) => assert!(msg.contains("hop_cap")),
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+        // Auto + hop_cap resolves to plain instead of conflicting.
+        let o = Oracle::builder(g).hop_cap(16).build().unwrap();
+        assert_eq!(o.pipeline(), Pipeline::Plain);
+        assert!(o.query_hops() <= 16);
+    }
+
+    #[test]
+    fn invalid_sources_are_rejected_not_panicked() {
+        let g = gen::path(10);
+        let oracle = Oracle::builder(g).build().unwrap();
+        assert!(matches!(
+            oracle.distances_from(10),
+            Err(SsspError::InvalidSource { source: 10, n: 10 })
+        ));
+        assert!(matches!(
+            oracle.distances_multi(&[0, 99]),
+            Err(SsspError::InvalidSource { source: 99, .. })
+        ));
+        assert!(matches!(
+            oracle.distance(0, 10),
+            Err(SsspError::InvalidSource { .. })
+        ));
+        assert!(matches!(oracle.spt(0), Err(SsspError::PathsNotRecorded)));
+    }
+
+    #[test]
+    fn spt_from_the_same_built_object() {
+        let g = gen::clique_chain(4, 7, 2.0);
+        let oracle = Oracle::builder(g).paths(true).build().unwrap();
+        // Distances and trees from one build.
+        let d = oracle.distances_from(0).unwrap();
+        let spt = oracle.spt(0).unwrap();
+        let val = hopset::path_report::validate_spt(oracle.graph(), &spt);
+        assert_eq!(val.non_graph_edges, 0);
+        assert_eq!(val.missing, 0);
+        assert!(val.max_stretch <= 1.25 + 1e-9, "{val:?}");
+        // Every vertex the distance query reaches, the tree reaches too.
+        for (td, qd) in spt.dist.iter().zip(&d) {
+            assert_eq!(td.is_finite(), qd.is_finite());
+        }
+    }
+
+    #[test]
+    fn multi_source_rows_match_single_source() {
+        let g = gen::road_grid(10, 10, 4, 1.0, 5.0);
+        let oracle = Oracle::builder(g).build().unwrap();
+        let sources = vec![0u32, 37, 99];
+        let multi = oracle.distances_multi(&sources).unwrap();
+        assert_eq!(multi.dist.num_sources(), 3);
+        assert_eq!(multi.dist.num_targets(), 100);
+        for (i, &s) in sources.iter().enumerate() {
+            let single = oracle.distances_from(s).unwrap();
+            assert_eq!(multi.dist.row(i), &single[..], "source {s}");
+        }
+        assert_eq!(multi.dist.to_nested()[1][37], 0.0);
+    }
+
+    #[test]
+    fn nearest_source_is_one_exploration() {
+        let g = gen::path(30);
+        let oracle = Oracle::builder(g).build().unwrap();
+        let d = oracle.distances_to_nearest(&[0, 29]).unwrap();
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[29], 0.0);
+        assert!(d[15] <= 15.0 * 1.25 + 1e-9);
+    }
+
+    #[test]
+    fn baselines_are_exact_through_the_trait() {
+        let g = Arc::new(gen::gnm_connected(80, 240, 2, 1.0, 9.0));
+        let exact = dijkstra(&g, 0).dist;
+        let backends: Vec<Box<dyn DistanceOracle>> = vec![
+            Box::new(DeltaSteppingOracle::new(Arc::clone(&g))),
+            Box::new(DijkstraOracle::new(Arc::clone(&g))),
+        ];
+        for b in &backends {
+            assert_eq!(b.stretch_bound(), 1.0);
+            assert_eq!(b.cost().work(), 0, "no precompute for {}", b.name());
+            let d = b.distances_from(0).unwrap();
+            for v in 0..80 {
+                assert!(
+                    (d[v] - exact[v]).abs() < 1e-9 || (d[v] == INF && exact[v] == INF),
+                    "{} v={v}",
+                    b.name()
+                );
+            }
+            // Generic point-to-point + nearest-source through the trait.
+            assert!((b.distance(0, 40).unwrap() - exact[40]).abs() < 1e-9);
+            let near = b.distances_to_nearest(&[0, 79]).unwrap();
+            assert_eq!(near[0], 0.0);
+            assert_eq!(near[79], 0.0);
+        }
+    }
+
+    #[test]
+    fn delta_stepping_oracle_validates_delta() {
+        let g = Arc::new(gen::path(8));
+        assert!(matches!(
+            DeltaSteppingOracle::with_delta(Arc::clone(&g), 0.0),
+            Err(SsspError::Config(_))
+        ));
+        let o = DeltaSteppingOracle::with_delta(g, 2.5).unwrap();
+        assert_eq!(o.delta(), 2.5);
+    }
+
+    // Send/Sync static assertions, object safety, and cross-thread
+    // determinism are pinned at the public surface in tests/oracle_api.rs.
+
+    #[test]
+    fn distance_matrix_shape() {
+        let mut m = DistanceMatrix::with_targets(3);
+        assert_eq!(m.num_sources(), 0);
+        m.push_row(&[0.0, 1.0, 2.0]);
+        m.push_row(&[5.0, 0.0, 1.0]);
+        assert_eq!(m.num_sources(), 2);
+        assert_eq!(m.row(1), &[5.0, 0.0, 1.0]);
+        assert_eq!(m.as_slice().len(), 6);
+        assert_eq!(
+            m.to_nested(),
+            vec![vec![0.0, 1.0, 2.0], vec![5.0, 0.0, 1.0]]
+        );
+    }
+
+    #[test]
+    fn stretch_curve_through_the_oracle() {
+        let g = gen::path(128);
+        let oracle = Oracle::builder(g).build().unwrap();
+        let pts = oracle.stretch_curve(&[0], &[4, 16, 128]).unwrap();
+        assert_eq!(pts.len(), 3);
+        // Unreached counts are non-increasing in budget; exact at n hops.
+        assert!(pts[0].unreached >= pts[2].unreached);
+        assert_eq!(pts[2].unreached, 0);
+        assert!(matches!(
+            oracle.stretch_curve(&[999], &[4]),
+            Err(SsspError::InvalidSource { .. })
+        ));
+    }
+}

@@ -1,7 +1,13 @@
-//! Approximate shortest-path **trees** (Theorems 4.6 and D.2).
+//! Approximate shortest-path **trees** (Theorems 4.6 and D.2) — the
+//! **legacy borrowed engine**.
 //!
 //! Thin application wrapper over `hopset::path_report`: builds the
 //! path-reporting hopset once and answers SPT queries for any root.
+//!
+//! New code should use [`crate::Oracle::builder`] with
+//! [`crate::OracleBuilder::paths`]`(true)`: the owned oracle serves SPT
+//! extraction *and* all distance queries from the same built object, and
+//! selects the plain vs reduced pipeline automatically.
 
 use hopset::multi_scale::{build_hopset, BuildOptions, BuiltHopset};
 use hopset::params::{HopsetParams, ParamError, ParamMode};
@@ -25,6 +31,10 @@ pub struct ApproxSptEngine<'g> {
 
 impl<'g> ApproxSptEngine<'g> {
     /// Build on the plain pipeline (fine for `Λ = poly(n)`; Theorem 4.6).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use sssp::Oracle::builder(graph).paths(true).pipeline(Pipeline::Plain).build()"
+    )]
     pub fn build(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
         let params =
             HopsetParams::practical(g.num_vertices().max(2), eps, kappa, g.aspect_ratio_bound())?;
@@ -37,6 +47,10 @@ impl<'g> ApproxSptEngine<'g> {
 
     /// Build through the Klein–Sairam reduction (any aspect ratio;
     /// Theorem D.2).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use sssp::Oracle::builder(graph).paths(true).pipeline(Pipeline::Reduced).build()"
+    )]
     pub fn build_reduced(g: &'g Graph, eps: f64, kappa: usize) -> Result<Self, ParamError> {
         let rho = (1.0 / kappa as f64).min(0.499_999);
         let reduced = build_reduced_hopset(
@@ -72,6 +86,7 @@ impl<'g> ApproxSptEngine<'g> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use hopset::path_report::validate_spt;
     use pgraph::gen;

@@ -1,25 +1,36 @@
-//! Criterion bench: hopset query vs the baselines — sequential Dijkstra
-//! (exact) and bare hop-limited Bellman–Ford (the E10 comparison).
+//! Criterion bench: the backends behind the `DistanceOracle` trait —
+//! hopset oracle vs sequential Dijkstra vs Δ-stepping — plus bare
+//! hop-limited Bellman–Ford (the E10 comparison).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pgraph::{exact, gen, UnionView};
+use pgraph::{gen, UnionView};
 use pram::Ledger;
-use sssp::ApproxShortestPaths;
+use sssp::{DeltaSteppingOracle, DijkstraOracle, DistanceOracle, Oracle};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_query_vs_baselines(c: &mut Criterion) {
     let n = 4096usize;
-    let g = gen::road_grid(64, 64, 7, 1.0, 10.0);
-    let engine = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+    let g = Arc::new(gen::road_grid(64, 64, 7, 1.0, 10.0));
+    let backends: Vec<Box<dyn DistanceOracle>> = vec![
+        Box::new(
+            Oracle::builder(Arc::clone(&g))
+                .eps(0.25)
+                .kappa(4)
+                .build()
+                .unwrap(),
+        ),
+        Box::new(DijkstraOracle::new(Arc::clone(&g))),
+        Box::new(DeltaSteppingOracle::new(Arc::clone(&g))),
+    ];
 
     let mut group = c.benchmark_group("baselines/road-grid-4096");
     group.sample_size(20);
-    group.bench_function("hopset-query", |b| {
-        b.iter(|| black_box(engine.distances_from(0)))
-    });
-    group.bench_function("dijkstra-exact", |b| {
-        b.iter(|| black_box(exact::dijkstra(&g, 0)))
-    });
+    for backend in &backends {
+        group.bench_function(backend.name(), |b| {
+            b.iter(|| black_box(backend.distances_from(0).unwrap()))
+        });
+    }
     group.bench_function("bare-bf-to-convergence", |b| {
         b.iter(|| {
             let view = UnionView::base_only(&g);
@@ -33,9 +44,12 @@ fn bench_query_vs_baselines(c: &mut Criterion) {
 fn bench_bf_round_counts(c: &mut Criterion) {
     // Not a timing comparison: demonstrates the *round* (depth) advantage.
     // The bare path graph needs n-1 rounds; G ∪ H needs the β budget.
-    let g = gen::path(4096);
-    let engine = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
-    let overlay = engine.built().overlay();
+    let g = Arc::new(gen::path(4096));
+    let oracle = Oracle::builder(Arc::clone(&g))
+        .eps(0.25)
+        .kappa(4)
+        .build()
+        .unwrap();
 
     let mut group = c.benchmark_group("baselines/path-4096-rounds");
     group.sample_size(10);
@@ -47,16 +61,7 @@ fn bench_bf_round_counts(c: &mut Criterion) {
         })
     });
     group.bench_function("hopset-bf-beta-rounds", |b| {
-        b.iter(|| {
-            let view = UnionView::with_extra(&g, &overlay);
-            let mut ledger = Ledger::new();
-            black_box(pram::bellman_ford(
-                &view,
-                &[0],
-                engine.query_hops(),
-                &mut ledger,
-            ))
-        })
+        b.iter(|| black_box(oracle.distances_from(0).unwrap()))
     });
     group.finish();
 }

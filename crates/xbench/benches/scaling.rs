@@ -43,9 +43,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
 }
 
 fn bench_query_thread_scaling(c: &mut Criterion) {
+    use sssp::DistanceOracle;
     let n = 4096usize;
     let g = gen::gnm_connected(n, 6 * n, 3, 1.0, 16.0);
-    let engine = sssp::ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
+    let oracle = sssp::Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
     let sources: Vec<u32> = (0..8).map(|i| (i * n / 8) as u32).collect();
 
     let mut group = c.benchmark_group("scaling/amssd-threads");
@@ -62,7 +63,7 @@ fn bench_query_thread_scaling(c: &mut Criterion) {
             .build()
             .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| pool.install(|| black_box(engine.distances_multi(&sources))))
+            b.iter(|| pool.install(|| black_box(oracle.distances_multi(&sources).unwrap())))
         });
     }
     group.finish();

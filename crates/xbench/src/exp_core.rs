@@ -7,6 +7,7 @@ use hopset::validate::measure_stretch;
 use hopset::{build_hopset, BuildOptions, HopsetParams, ParamMode};
 use pgraph::{exact, gen, Graph, UnionView};
 use sssp::eval::spread_sources;
+use sssp::DistanceOracle;
 
 fn practical(g: &Graph, eps: f64, kappa: usize, rho: f64) -> HopsetParams {
     HopsetParams::new(
@@ -206,18 +207,23 @@ pub fn e3_work(cfg: &Config) {
 pub fn e4_msssd(cfg: &Config) {
     let nn = cfg.sz(1024);
     let g = gen::gnm_connected(nn, 4 * nn, 17, 1.0, 12.0);
-    let engine = sssp::ApproxShortestPaths::build(&g, 0.25, 4).expect("params");
+    let oracle = sssp::Oracle::builder(g)
+        .eps(0.25)
+        .kappa(4)
+        .build()
+        .expect("params");
     let mut t = Table::new(&["|S|", "work", "work/|S|", "depth", "max-stretch"]);
     for &s in &[1usize, 2, 4, 8, 16] {
         let sources = spread_sources(nn, s);
-        let r = engine.distances_multi(&sources);
+        let r = oracle.distances_multi(&sources).expect("sources in range");
         let mut worst: f64 = 1.0;
         for (i, &src) in sources.iter().enumerate() {
-            let ex = exact::dijkstra(&g, src).dist;
+            let ex = exact::dijkstra(oracle.graph(), src).dist;
+            let row = r.dist.row(i);
             #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
             for v in 0..nn {
-                if ex[v] > 0.0 && ex[v].is_finite() && r.dist[i][v].is_finite() {
-                    worst = worst.max(r.dist[i][v] / ex[v]);
+                if ex[v] > 0.0 && ex[v].is_finite() && row[v].is_finite() {
+                    worst = worst.max(row[v] / ex[v]);
                 }
             }
         }

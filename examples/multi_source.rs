@@ -17,14 +17,19 @@ fn main() {
     };
     println!("graph: n = {}, m = {}", g.num_vertices(), g.num_edges());
 
-    let engine = ApproxShortestPaths::build(&g, 0.25, 4).expect("valid parameters");
+    let oracle = Oracle::builder(g)
+        .eps(0.25)
+        .kappa(4)
+        .build()
+        .expect("valid parameters");
+    let n = oracle.num_vertices();
 
     // A fleet of depots spread over the vertex set.
-    let depots: Vec<u32> = (0..8).map(|i| (i * g.num_vertices() / 8) as u32).collect();
+    let depots: Vec<u32> = (0..8).map(|i| (i * n / 8) as u32).collect();
     println!("depots: {depots:?}");
 
     let t0 = std::time::Instant::now();
-    let multi = engine.distances_multi(&depots);
+    let multi = oracle.distances_multi(&depots).expect("depots in range");
     println!(
         "aMSSD: {} explorations in {:?} (PRAM depth {}, work {})",
         depots.len(),
@@ -32,27 +37,29 @@ fn main() {
         multi.ledger.depth(),
         multi.ledger.work()
     );
+    // The result is one flat row-major matrix (one allocation, |S|·n).
+    assert_eq!(multi.dist.num_sources(), depots.len());
+    assert_eq!(multi.dist.num_targets(), n);
 
     // Validate each row against the exact oracle.
     for (i, &s) in depots.iter().enumerate() {
-        let exact = exact::dijkstra(&g, s).dist;
+        let exact = exact::dijkstra(oracle.graph(), s).dist;
+        let row = multi.dist.row(i);
         let mut worst: f64 = 1.0;
-        #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
-        for v in 0..g.num_vertices() {
-            if exact[v] > 0.0 && exact[v].is_finite() && multi.dist[i][v].is_finite() {
-                worst = worst.max(multi.dist[i][v] / exact[v]);
+        for v in 0..n {
+            if exact[v] > 0.0 && exact[v].is_finite() && row[v].is_finite() {
+                worst = worst.max(row[v] / exact[v]);
             }
         }
         println!("depot {s}: max stretch {worst:.4}");
-        assert!(worst <= 1.25 + 1e-9);
+        assert!(worst <= oracle.stretch_bound() + 1e-9);
     }
 
     // Nearest-depot distances in one shot (single multi-source BF).
-    let nearest = engine.distances_to_nearest(&depots);
+    let nearest = oracle
+        .distances_to_nearest(&depots)
+        .expect("depots in range");
     let covered = nearest.iter().filter(|d| d.is_finite()).count();
-    println!(
-        "nearest-depot query covers {covered}/{} vertices",
-        g.num_vertices()
-    );
+    println!("nearest-depot query covers {covered}/{n} vertices");
     println!("OK");
 }

@@ -1,5 +1,5 @@
-//! Quickstart: build a deterministic (1+ε)-hopset and answer approximate
-//! shortest-distance queries (Theorems 3.7 + 3.8).
+//! Quickstart: build a deterministic (1+ε)-hopset oracle and answer
+//! approximate shortest-distance queries (Theorems 3.7 + 3.8).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -13,11 +13,17 @@ fn main() {
     let g = gen::gnm_connected(n, 4 * n, 42, 1.0, 16.0);
     println!("graph: n = {}, m = {}", g.num_vertices(), g.num_edges());
 
-    // Build the deterministic hopset engine: target stretch 1+ε with ε =
-    // 0.25, sparsity parameter κ = 4 (hopset size O(n^{1+1/κ}) per scale).
+    // Build the deterministic oracle: target stretch 1+ε with ε = 0.25,
+    // sparsity parameter κ = 4 (hopset size O(n^{1+1/κ}) per scale). The
+    // oracle owns the graph and picks the construction pipeline from the
+    // aspect-ratio bound.
     let t0 = std::time::Instant::now();
-    let engine = ApproxShortestPaths::build(&g, 0.25, 4).expect("valid parameters");
-    let built = engine.built();
+    let oracle = Oracle::builder(g)
+        .eps(0.25)
+        .kappa(4)
+        .build()
+        .expect("valid parameters");
+    let built = oracle.built().expect("plain pipeline on unit-ish weights");
     println!(
         "hopset: {} edges over scales {}..={}, built in {:?}",
         built.hopset.len(),
@@ -27,24 +33,24 @@ fn main() {
     );
     println!(
         "PRAM cost of construction: work = {}, depth = {} (polylog rounds)",
-        built.ledger.work(),
-        built.ledger.depth()
+        oracle.cost().work(),
+        oracle.cost().depth()
     );
 
-    // Query: β-hop Bellman–Ford over G ∪ H.
+    // Query: β-hop Bellman–Ford over the pre-built G ∪ H union CSR.
     let source = 0;
     let t1 = std::time::Instant::now();
-    let approx = engine.distances_from(source);
+    let approx = oracle.distances_from(source).expect("source in range");
     println!(
         "query: β = {} hops, answered in {:?}",
-        engine.query_hops(),
+        oracle.query_hops(),
         t1.elapsed()
     );
 
     // Verify the (1+ε) contract against the exact oracle.
-    let exact = exact::dijkstra(&g, source).dist;
+    let exact = exact::dijkstra(oracle.graph(), source).dist;
     let mut max_stretch: f64 = 1.0;
-    for v in 0..g.num_vertices() {
+    for v in 0..oracle.num_vertices() {
         assert!(
             approx[v] >= exact[v] - 1e-6,
             "hopsets never shorten distances (Lemmas 2.3/2.9)"
@@ -53,7 +59,10 @@ fn main() {
             max_stretch = max_stretch.max(approx[v] / exact[v]);
         }
     }
-    println!("max observed stretch: {max_stretch:.4} (contract: ≤ 1.25)");
-    assert!(max_stretch <= 1.25 + 1e-9);
+    println!(
+        "max observed stretch: {max_stretch:.4} (contract: ≤ {})",
+        oracle.stretch_bound()
+    );
+    assert!(max_stretch <= oracle.stretch_bound() + 1e-9);
     println!("OK");
 }

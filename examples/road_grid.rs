@@ -21,20 +21,23 @@ fn main() {
     let plain_rounds = baseline::bf_rounds_to_converge(&g, src);
     println!("plain Bellman–Ford rounds to converge: {plain_rounds}");
 
-    // Build the hopset engine.
+    // Build the oracle (it takes ownership of the graph).
     let t0 = std::time::Instant::now();
-    let engine = ApproxShortestPaths::build(&g, 0.25, 4).expect("valid parameters");
+    let oracle = Oracle::builder(g)
+        .eps(0.25)
+        .kappa(4)
+        .build()
+        .expect("valid parameters");
     println!(
         "hopset: {} edges in {:?}; query hop budget β = {}",
-        engine.built().hopset.len(),
+        oracle.hopset_size(),
         t0.elapsed(),
-        engine.query_hops()
+        oracle.query_hops()
     );
 
     // Approximate distances vs exact, from a corner (worst case for hops).
-    let approx = engine.distances_from(src);
-    let exact = exact::dijkstra(&g, src).dist;
-    #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+    let approx = oracle.distances_from(src).expect("source in range");
+    let exact = exact::dijkstra(oracle.graph(), src).dist;
     let far = rows * cols - 1;
     println!(
         "corner-to-corner: exact = {:.1}, approx = {:.1} (ratio {:.4})",
@@ -60,6 +63,9 @@ fn main() {
         max_stretch,
         mean / cnt as f64
     );
-    assert!(max_stretch <= 1.25 + 1e-9, "stretch contract violated");
+    assert!(
+        max_stretch <= oracle.stretch_bound() + 1e-9,
+        "stretch contract violated"
+    );
     println!("OK");
 }

@@ -1,7 +1,8 @@
 //! Huge aspect ratios via the Klein–Sairam reduction (Appendix C,
 //! Theorem C.2): weights spanning 15+ orders of magnitude would cost the
 //! plain pipeline ~50 scales; the reduction contracts light regions into
-//! nodes so every level sees aspect ratio O(n/ε).
+//! nodes so every level sees aspect ratio O(n/ε). The oracle's `Auto`
+//! pipeline detects this from the aspect-ratio bound on its own.
 //!
 //! ```sh
 //! cargo run --release --example weight_reduction
@@ -29,19 +30,21 @@ fn main() {
         g.max_weight().unwrap()
     );
 
+    // Auto pipeline selection: the aspect-ratio bound exceeds n², so the
+    // builder routes through the Klein–Sairam reduction by itself.
     let t0 = std::time::Instant::now();
-    let reduced = build_reduced_hopset(
-        &g,
-        0.5,
-        4,
-        0.3,
-        ParamMode::Practical,
-        BuildOptions::default(),
-    )
-    .expect("valid parameters");
+    let oracle = Oracle::builder(g)
+        .eps(0.5)
+        .kappa(4)
+        .build()
+        .expect("valid parameters");
+    assert_eq!(oracle.pipeline(), Pipeline::Reduced, "auto-selected");
+    let reduced = oracle.reduced().expect("reduced backend");
     println!(
-        "reduced hopset: {} edges ({} stars) over {} relevant scales in {:?}",
-        reduced.hopset.len(),
+        "pipeline auto-selected: {:?}; reduced hopset: {} edges ({} stars) \
+         over {} relevant scales in {:?}",
+        oracle.pipeline(),
+        oracle.hopset_size(),
         reduced.star_edges,
         reduced.levels.len(),
         t0.elapsed()
@@ -54,24 +57,23 @@ fn main() {
         );
     }
 
-    // Query through G ∪ H with the reduced hop budget.
-    let overlay = reduced.hopset.overlay_all();
-    let view = UnionView::with_extra(&g, &overlay);
-    let mut ledger = Ledger::new();
-    let bf = pram::bellman_ford(&view, &[0], reduced.query_hops, &mut ledger);
-    let exact = exact::dijkstra(&g, 0).dist;
+    // Query through the oracle with the reduced hop budget (6β+5).
+    let approx = oracle.distances_from(0).expect("source in range");
+    let exact = exact::dijkstra(oracle.graph(), 0).dist;
     let mut worst: f64 = 1.0;
     #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
-    for v in 0..g.num_vertices() {
-        assert!(bf.dist[v] >= exact[v] * (1.0 - 1e-9), "no shortcuts");
+    for v in 0..oracle.num_vertices() {
+        assert!(approx[v] >= exact[v] * (1.0 - 1e-9), "no shortcuts");
         if exact[v] > 0.0 {
-            worst = worst.max(bf.dist[v] / exact[v]);
+            worst = worst.max(approx[v] / exact[v]);
         }
     }
     println!(
-        "stretch at {} hops: {:.4} (contract: ≤ 1.5)",
-        reduced.query_hops, worst
+        "stretch at {} hops: {:.4} (contract: ≤ {})",
+        oracle.query_hops(),
+        worst,
+        oracle.stretch_bound()
     );
-    assert!(worst <= 1.5 + 1e-9);
+    assert!(worst <= oracle.stretch_bound() + 1e-9);
     println!("OK");
 }

@@ -22,27 +22,43 @@
 //! * [`hopset`] — the paper's contribution: deterministic hopsets
 //!   (Theorem 3.7), the weight reduction (Theorem C.2), path reporting
 //!   (Theorems 4.6/D.2) and the randomized comparison baseline;
-//! * [`sssp`] — the applications: aSSSD/aMSSD (Theorem 3.8) and
-//!   `(1+ε)`-shortest-path trees.
+//! * [`sssp`] — the applications behind one facade: the owned,
+//!   thread-safe [`sssp::Oracle`] serving aSSSD/aMSSD (Theorem 3.8),
+//!   `(1+ε)`-shortest-path trees, and the exact baselines through the
+//!   [`sssp::DistanceOracle`] trait.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use pram_sssp::prelude::*;
 //!
-//! // A weighted graph (road-network-like grid).
+//! // A weighted graph (road-network-like grid). The oracle takes
+//! // ownership (internally an Arc<Graph>).
 //! let g = pgraph::gen::road_grid(12, 12, 7, 1.0, 10.0);
 //!
-//! // Build the deterministic (1+ε)-hopset engine and query it.
-//! let engine = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
-//! let approx = engine.distances_from(0);
+//! // One fluent configuration path: stretch 1+ε, sparsity κ; the plain
+//! // vs weight-reduced pipeline is picked from the aspect-ratio bound.
+//! let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+//!
+//! // The same built object answers every query.
+//! let approx = oracle.distances_from(0).unwrap();
+//! let d_pair = oracle.distance(0, 77).unwrap();
+//! assert!((d_pair - approx[77]).abs() < 1e-12);
 //!
 //! // Compare against the exact oracle: never below, at most (1+ε) above.
-//! let exact = pgraph::exact::dijkstra(&g, 0).dist;
-//! for v in 0..g.num_vertices() {
+//! let exact = pgraph::exact::dijkstra(oracle.graph(), 0).dist;
+//! for v in 0..oracle.num_vertices() {
 //!     assert!(approx[v] >= exact[v] - 1e-9);
-//!     assert!(approx[v] <= 1.25 * exact[v] + 1e-9);
+//!     assert!(approx[v] <= oracle.stretch_bound() * exact[v] + 1e-9);
 //! }
+//!
+//! // Share it: Oracle is Send + Sync, so Arc<Oracle> serves threads.
+//! let shared = std::sync::Arc::new(oracle);
+//! let handle = {
+//!     let o = std::sync::Arc::clone(&shared);
+//!     std::thread::spawn(move || o.distances_from(5).unwrap())
+//! };
+//! assert_eq!(handle.join().unwrap()[5], 0.0);
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `DESIGN.md`/`EXPERIMENTS.md`
@@ -58,9 +74,14 @@ pub mod prelude {
     pub use hopset::path_report::{build_spt, validate_spt, SptResult};
     pub use hopset::reduction::build_reduced_hopset;
     pub use hopset::{build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamMode};
-    pub use pgraph::{exact, gen, Graph, GraphBuilder, UnionView, INF};
+    pub use pgraph::{exact, gen, Graph, GraphBuilder, UnionGraph, UnionView, INF};
     pub use pram::Ledger;
-    pub use sssp::{delta_stepping, ApproxShortestPaths, ApproxSptEngine};
+    pub use sssp::{
+        delta_stepping, DeltaSteppingOracle, DijkstraOracle, DistanceMatrix, DistanceOracle,
+        MultiSourceResult, Oracle, OracleBuilder, Pipeline, SsspError,
+    };
+    #[allow(deprecated)]
+    pub use sssp::{ApproxShortestPaths, ApproxSptEngine};
 }
 
 #[cfg(test)]
@@ -70,8 +91,9 @@ mod tests {
     #[test]
     fn umbrella_reexports_compose() {
         let g = gen::path(16);
-        let engine = ApproxShortestPaths::build(&g, 0.5, 4).unwrap();
-        let d = engine.distances_from(0);
+        let oracle = Oracle::builder(g).eps(0.5).kappa(4).build().unwrap();
+        let d = oracle.distances_from(0).unwrap();
         assert!((d[15] - 15.0).abs() <= 15.0 * 0.5 + 1e-9);
+        assert_eq!(oracle.distance(0, 15).unwrap(), d[15]);
     }
 }

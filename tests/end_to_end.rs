@@ -6,9 +6,13 @@ use pram_sssp::prelude::*;
 /// The core contract on one graph: approximate distances never undershoot
 /// and respect (1+eps) at the engine's hop budget.
 fn assert_sssp_contract(g: &Graph, eps: f64, kappa: usize, sources: &[u32]) {
-    let engine = ApproxShortestPaths::build(g, eps, kappa).expect("params");
+    let oracle = Oracle::builder(g.clone())
+        .eps(eps)
+        .kappa(kappa)
+        .build()
+        .expect("params");
     for &s in sources {
-        let approx = engine.distances_from(s);
+        let approx = oracle.distances_from(s).expect("source in range");
         let exact = exact::dijkstra(g, s).dist;
         for v in 0..g.num_vertices() {
             if exact[v] == INF {
@@ -114,9 +118,14 @@ fn determinism_across_thread_counts() {
 #[test]
 fn spt_pipeline_end_to_end() {
     let g = gen::clique_chain(6, 9, 2.0);
-    let engine = ApproxSptEngine::build(&g, 0.25, 4).expect("params");
+    let oracle = Oracle::builder(g.clone())
+        .eps(0.25)
+        .kappa(4)
+        .paths(true)
+        .build()
+        .expect("params");
     for src in [0u32, 26, 53] {
-        let spt = engine.spt(src);
+        let spt = oracle.spt(src).expect("paths recorded");
         let val = validate_spt(&g, &spt);
         assert_eq!(val.non_graph_edges, 0, "src {src}: {val:?}");
         assert_eq!(val.weight_mismatches, 0);
@@ -155,10 +164,16 @@ fn hop_reduction_is_real() {
     // The actual point of a hopset: with budget ≪ hop diameter, the bare
     // graph cannot answer, G ∪ H can.
     let g = gen::path(300);
-    let engine = ApproxShortestPaths::with_params(&g, 0.25, 4, 0.3, ParamMode::Practical, Some(40))
+    let oracle = Oracle::builder(g.clone())
+        .eps(0.25)
+        .kappa(4)
+        .rho(0.3)
+        .mode(ParamMode::Practical)
+        .hop_cap(40)
+        .build()
         .expect("params");
-    let approx = engine.distances_from(0);
-    let (bare, _) = sssp::baseline::plain_bellman_ford(&g, 0, engine.query_hops());
+    let approx = oracle.distances_from(0).expect("source in range");
+    let (bare, _) = sssp::baseline::plain_bellman_ford(&g, 0, oracle.query_hops());
     assert_eq!(bare[299], INF, "bare graph cannot span 299 hops in 40");
     assert!(approx[299].is_finite(), "hopset must shortcut");
     assert!(approx[299] <= 1.25 * 299.0 + 1e-9);
@@ -267,14 +282,23 @@ fn hopset_serialization_through_public_api() {
 #[test]
 fn delta_stepping_agrees_with_engine() {
     // Two very different algorithms, one truth: Δ-stepping (exact) lower-
-    // bounds the hopset engine's approximate answers.
-    let g = pgraph::gen::road_grid(12, 12, 5, 1.0, 8.0);
-    let engine = ApproxShortestPaths::build(&g, 0.25, 4).unwrap();
-    let approx = engine.distances_from(0);
-    let ds = sssp::delta_stepping(&g, 0, 2.0);
+    // bounds the hopset oracle's approximate answers — both behind the
+    // same DistanceOracle trait.
+    let g = std::sync::Arc::new(pgraph::gen::road_grid(12, 12, 5, 1.0, 8.0));
+    let hopset: Box<dyn DistanceOracle> = Box::new(
+        Oracle::builder(std::sync::Arc::clone(&g))
+            .eps(0.25)
+            .kappa(4)
+            .build()
+            .unwrap(),
+    );
+    let dstep: Box<dyn DistanceOracle> =
+        Box::new(DeltaSteppingOracle::with_delta(std::sync::Arc::clone(&g), 2.0).unwrap());
+    let approx = hopset.distances_from(0).unwrap();
+    let ds = dstep.distances_from(0).unwrap();
     #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
     for v in 0..g.num_vertices() {
-        assert!(approx[v] >= ds.dist[v] - 1e-9);
-        assert!(approx[v] <= 1.25 * ds.dist[v] + 1e-9);
+        assert!(approx[v] >= ds[v] - 1e-9);
+        assert!(approx[v] <= hopset.stretch_bound() * ds[v] + 1e-9);
     }
 }

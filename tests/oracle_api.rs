@@ -1,0 +1,193 @@
+//! The API-redesign contract tests: the owned `Oracle` facade is
+//! thread-safe (compile-time `Send + Sync`), object-safe
+//! (`Box<dyn DistanceOracle>`), and produces **bit-identical** results to
+//! the legacy borrowed engines (`ApproxShortestPaths`, `ApproxSptEngine`)
+//! it supersedes.
+#![allow(deprecated)] // parity tests deliberately exercise the legacy API
+
+use pram_sssp::prelude::*;
+use std::sync::Arc;
+
+/// Compile-time: the owned oracle and its trait objects cross threads.
+#[test]
+fn oracle_is_send_sync_statically() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Oracle>();
+    assert_send_sync::<Arc<Oracle>>();
+    assert_send_sync::<DeltaSteppingOracle>();
+    assert_send_sync::<DijkstraOracle>();
+    assert_send_sync::<Box<dyn DistanceOracle>>();
+    assert_send_sync::<Arc<dyn DistanceOracle>>();
+    assert_send_sync::<Vec<Box<dyn DistanceOracle>>>();
+}
+
+/// Object safety: all backends usable through one `dyn` surface, including
+/// every trait method.
+#[test]
+fn distance_oracle_is_object_safe() {
+    let g = Arc::new(gen::gnm_connected(60, 180, 3, 1.0, 6.0));
+    let backends: Vec<Box<dyn DistanceOracle>> = vec![
+        Box::new(
+            Oracle::builder(Arc::clone(&g))
+                .eps(0.25)
+                .kappa(4)
+                .build()
+                .unwrap(),
+        ),
+        Box::new(DeltaSteppingOracle::new(Arc::clone(&g))),
+        Box::new(DijkstraOracle::new(Arc::clone(&g))),
+    ];
+    let exact = exact::dijkstra(&g, 0).dist;
+    for b in &backends {
+        assert_eq!(b.num_vertices(), 60);
+        assert!(b.stretch_bound() >= 1.0);
+        let d = b.distances_from(0).unwrap();
+        let multi = b.distances_multi(&[0, 30]).unwrap();
+        assert_eq!(multi.dist.row(0), &d[..], "{}", b.name());
+        let near = b.distances_to_nearest(&[0, 59]).unwrap();
+        assert_eq!(near[0], 0.0);
+        let p2p = b.distance(0, 30).unwrap();
+        assert!((p2p - d[30]).abs() < 1e-12);
+        // Every backend respects its declared stretch bound.
+        for v in 0..60 {
+            assert!(d[v] >= exact[v] - 1e-6 * exact[v].max(1.0), "{}", b.name());
+            assert!(
+                d[v] <= b.stretch_bound() * exact[v] + 1e-9,
+                "{} at {v}",
+                b.name()
+            );
+        }
+    }
+}
+
+/// `Arc<Oracle>` served from multiple threads returns bit-identical
+/// answers (the determinism contract survives sharing).
+#[test]
+fn arc_oracle_concurrent_queries_are_deterministic() {
+    let g = gen::road_grid(12, 12, 9, 1.0, 8.0);
+    let oracle = Arc::new(
+        Oracle::builder(g)
+            .eps(0.25)
+            .kappa(4)
+            .paths(true)
+            .build()
+            .unwrap(),
+    );
+    let reference = oracle.distances_from(7).unwrap();
+    let ref_spt = oracle.spt(7).unwrap();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let o = Arc::clone(&oracle);
+            std::thread::spawn(move || {
+                let d = o.distances_from(7).unwrap();
+                let spt = o.spt(7).unwrap();
+                (i, d, spt)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (i, d, spt) = h.join().unwrap();
+        for (a, b) in d.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "thread {i}");
+        }
+        assert_eq!(spt.parent, ref_spt.parent, "thread {i}");
+    }
+}
+
+/// Parity: the new facade's distance queries are bit-identical to the
+/// legacy `ApproxShortestPaths` on seeded graphs (same construction, same
+/// query engine — the redesign changed ownership, not answers).
+#[test]
+fn new_oracle_matches_legacy_assd_bit_for_bit() {
+    for (seed, eps, kappa) in [(5u64, 0.25, 4usize), (13, 0.4, 3), (21, 0.15, 6)] {
+        let g = gen::gnm_connected(140, 420, seed, 1.0, 9.0);
+        let legacy = ApproxShortestPaths::build(&g, eps, kappa).unwrap();
+        let oracle = Oracle::builder(g.clone())
+            .eps(eps)
+            .kappa(kappa)
+            .build()
+            .unwrap();
+        assert_eq!(oracle.query_hops(), legacy.query_hops());
+        assert_eq!(oracle.hopset_size(), legacy.built().hopset.len());
+        for src in [0u32, 70, 139] {
+            let old = legacy.distances_from(src);
+            let new = oracle.distances_from(src).unwrap();
+            for (a, b) in new.iter().zip(&old) {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed} src {src}");
+            }
+        }
+        // Multi-source parity via the nested view of the flat matrix.
+        let sources = [3u32, 99];
+        let old_multi = legacy.distances_multi(&sources);
+        let new_multi = oracle.distances_multi(&sources).unwrap();
+        assert_eq!(old_multi.dist.to_nested(), new_multi.dist.to_nested());
+        // Nearest-source parity.
+        assert_eq!(
+            legacy.distances_to_nearest(&sources),
+            oracle.distances_to_nearest(&sources).unwrap()
+        );
+    }
+}
+
+/// Parity: SPT extraction through the facade is bit-identical to the
+/// legacy `ApproxSptEngine`, on both pipelines.
+#[test]
+fn new_oracle_matches_legacy_spt_engines() {
+    // Plain pipeline.
+    let g = gen::clique_chain(5, 8, 2.0);
+    let legacy = ApproxSptEngine::build(&g, 0.25, 4).unwrap();
+    let oracle = Oracle::builder(g.clone())
+        .eps(0.25)
+        .kappa(4)
+        .paths(true)
+        .pipeline(Pipeline::Plain)
+        .build()
+        .unwrap();
+    assert_eq!(oracle.hopset_size(), legacy.hopset_size());
+    for src in [0u32, 20, 39] {
+        let old = legacy.spt(src);
+        let new = oracle.spt(src).unwrap();
+        assert_eq!(old.parent, new.parent, "src {src}");
+        for (a, b) in new.dist.iter().zip(&old.dist) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // Reduced pipeline (huge aspect ratio).
+    let g = gen::exponential_path(28, 3.0);
+    let legacy = ApproxSptEngine::build_reduced(&g, 0.5, 4).unwrap();
+    let oracle = Oracle::builder(g.clone())
+        .eps(0.5)
+        .kappa(4)
+        .paths(true)
+        .pipeline(Pipeline::Reduced)
+        .build()
+        .unwrap();
+    assert_eq!(oracle.pipeline(), Pipeline::Reduced);
+    assert_eq!(oracle.hopset_size(), legacy.hopset_size());
+    let old = legacy.spt(0);
+    let new = oracle.spt(0).unwrap();
+    assert_eq!(old.parent, new.parent);
+    for (a, b) in new.dist.iter().zip(&old.dist) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// The error surface: typed errors, not panics, for every misuse.
+#[test]
+fn query_errors_are_typed_not_panics() {
+    let g = gen::path(12);
+    let oracle = Oracle::builder(g).build().unwrap();
+    assert!(matches!(
+        oracle.distances_from(12),
+        Err(SsspError::InvalidSource { source: 12, n: 12 })
+    ));
+    assert!(matches!(oracle.spt(0), Err(SsspError::PathsNotRecorded)));
+    assert!(matches!(
+        Oracle::builder(gen::path(4)).eps(0.0).build(),
+        Err(SsspError::Params(_))
+    ));
+    // Errors format for humans (the serving path logs them).
+    let msg = oracle.distances_from(99).unwrap_err().to_string();
+    assert!(msg.contains("99") && msg.contains("12"), "{msg}");
+}

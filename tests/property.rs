@@ -41,9 +41,9 @@ proptest! {
     #[test]
     fn stretch_holds_at_query_budget(g in arb_graph(), eps_pct in 15u32..60) {
         let eps = eps_pct as f64 / 100.0;
-        let engine = ApproxShortestPaths::build(&g, eps, 4).unwrap();
+        let oracle = Oracle::builder(g.clone()).eps(eps).kappa(4).build().unwrap();
         let src = 0u32;
-        let approx = engine.distances_from(src);
+        let approx = oracle.distances_from(src).unwrap();
         let exact = exact::dijkstra(&g, src).dist;
         for v in 0..g.num_vertices() {
             if exact[v].is_finite() && exact[v] > 0.0 {
@@ -79,8 +79,8 @@ proptest! {
     /// §4: the SPT is a real tree of graph edges realizing its distances.
     #[test]
     fn spt_well_formed(g in arb_graph()) {
-        let engine = ApproxSptEngine::build(&g, 0.25, 4).unwrap();
-        let spt = engine.spt(0);
+        let oracle = Oracle::builder(g.clone()).eps(0.25).kappa(4).paths(true).build().unwrap();
+        let spt = oracle.spt(0).unwrap();
         let val = validate_spt(&g, &spt);
         prop_assert_eq!(val.non_graph_edges, 0);
         prop_assert_eq!(val.weight_mismatches, 0);
