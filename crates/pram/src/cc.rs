@@ -326,6 +326,25 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_across_thread_counts() {
+        // Big enough that the compress rounds cross PAR_THRESHOLD and
+        // really fan out on the pool.
+        let g = gen::gnm(6000, 12_000, 5, 1.0, 3.0);
+        let mut l1 = Ledger::new();
+        let (base, base_forest) =
+            crate::pool::with_threads(1, || spanning_forest(&g, |_| true, &mut l1));
+        for threads in [2usize, 4, 8] {
+            let mut l = Ledger::new();
+            let (got, forest) =
+                crate::pool::with_threads(threads, || spanning_forest(&g, |_| true, &mut l));
+            assert_eq!(got.label, base.label, "threads={threads}");
+            assert_eq!(got.rounds, base.rounds);
+            assert_eq!(forest, base_forest);
+            assert_eq!(l, l1);
+        }
+    }
+
+    #[test]
     fn orient_forest_parents() {
         let g = Graph::from_edges(5, [(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)]).unwrap();
         let mut l = Ledger::new();

@@ -118,4 +118,27 @@ mod tests {
         let (d, r) = pointer_jump_distances(&[], &[], &mut l);
         assert!(d.is_empty() && r.is_empty());
     }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // A chain above PAR_THRESHOLD so the jump rounds run chunked.
+        let n = 6000usize;
+        let parent: Vec<VId> = (0..n)
+            .map(|v| if v == 0 { 0 } else { v as VId - 1 })
+            .collect();
+        let w: Vec<Weight> = (0..n).map(|v| if v == 0 { 0.0 } else { 0.5 }).collect();
+        let mut l1 = Ledger::new();
+        let (bd, br) =
+            crate::pool::with_threads(1, || pointer_jump_distances(&parent, &w, &mut l1));
+        for threads in [2usize, 4, 8] {
+            let mut l = Ledger::new();
+            let (d, r) =
+                crate::pool::with_threads(threads, || pointer_jump_distances(&parent, &w, &mut l));
+            assert_eq!(r, br, "threads={threads}");
+            for (x, y) in d.iter().zip(&bd) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+            assert_eq!(l, l1);
+        }
+    }
 }

@@ -15,11 +15,18 @@
 //! | prefix sums over `m` items | `⌈log2 m⌉` | `m` | folklore, used in App. C |
 //! | pointer-jumping round | 1 | `m` | \[SV82\], §4.2 |
 //!
-//! Actual execution uses rayon data parallelism; all reductions are
-//! order-independent, so results are identical across thread counts (tested).
+//! Actual execution uses [`pool`] — a deterministic chunked scoped-thread
+//! pool (`std::thread::scope`, no external deps) with fixed chunk
+//! boundaries and order-independent reductions, so results are bit-identical
+//! across thread counts (tested, `tests/determinism.rs`). The thread count
+//! comes from `pool::with_threads` / `pool::set_global_threads` / the
+//! `PRAM_SSSP_THREADS` env var / the hardware, in that order. The legacy
+//! sequential execution path survives behind the `seq-shim` feature only
+//! (see `shims/README.md`).
 //!
 //! Modules:
 //! * [`ledger`] — the work/depth ledger,
+//! * [`pool`] — the chunked thread pool all primitives execute on,
 //! * [`prim`] — deterministic parallel map/reduce helpers,
 //! * [`scan`] — prefix sums,
 //! * [`sort`] — instrumented sorting (the AKS stand-in),
@@ -33,6 +40,7 @@ pub mod bford;
 pub mod cc;
 pub mod jump;
 pub mod ledger;
+pub mod pool;
 pub mod prim;
 pub mod scan;
 pub mod sort;

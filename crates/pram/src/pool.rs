@@ -1,0 +1,453 @@
+//! The deterministic chunked thread pool: real scoped-thread execution for
+//! every `pram` primitive, with bit-identical results at any thread count.
+//!
+//! PR 1 shipped a sequential `rayon` shim (the build environment has no
+//! registry access), which made every "parallel" primitive a plain loop.
+//! This module replaces it with genuine multi-threaded execution built on
+//! `std::thread::scope` — no external dependencies — while keeping the
+//! repository's determinism contract (DESIGN.md §5) intact by construction:
+//!
+//! * **Fixed chunk boundaries.** [`chunk_bounds`] derives the work split
+//!   purely from `(input length, thread count)`:
+//!   `min(threads, len / MIN_CHUNK)` (at least one) contiguous chunks
+//!   whose sizes differ by at most one, earlier chunks larger — the
+//!   [`MIN_CHUNK`] floor keeps every spawned thread busy long enough to
+//!   amortize its spawn cost. Nothing about the split depends on
+//!   scheduling.
+//! * **Merge in chunk order.** [`run_chunks`] collects per-chunk results
+//!   into a `Vec` indexed by chunk, caller-side, in chunk order — never in
+//!   completion order.
+//! * **Order-independent reductions only.** Callers combine per-chunk
+//!   results with associative, commutative operations over totally ordered
+//!   keys (min with smallest-index tie-breaks, `u64` sums, `bool` any).
+//!   Under that discipline the *values* are independent of the boundaries
+//!   too, so outputs are bit-identical for any thread count — the property
+//!   `tests/determinism.rs` pins for the full oracle pipeline.
+//!
+//! ## Thread-count resolution
+//!
+//! [`current_threads`] resolves, in priority order:
+//!
+//! 1. a scoped override installed by [`with_threads`] (thread-local —
+//!    what `OracleBuilder::threads` wraps around each build/query, and
+//!    what benches and the cross-thread-count tests use);
+//! 2. the process-global count set by [`set_global_threads`] (an
+//!    operator-level knob for embedding applications; nothing in this
+//!    workspace calls it outside tests);
+//! 3. the `PRAM_SSSP_THREADS` environment variable (a positive integer;
+//!    `0`, empty, or unparsable values are ignored), read once per process;
+//! 4. [`std::thread::available_parallelism`], the hardware default.
+//!
+//! Inside a pool worker the count is pinned to 1: nested primitives run
+//! sequentially instead of spawning `t²` threads. (Results are unaffected —
+//! see the contract above — only the schedule is.)
+//!
+//! ## The `seq-shim` feature
+//!
+//! With `--features seq-shim` the executors route through the sequential
+//! `rayon` shim exactly as before this module existed, which keeps the shim
+//! exercised and offers a zero-thread escape hatch (see `shims/README.md`).
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Inputs shorter than this run sequentially in every `prim` primitive;
+/// inputs of **exactly** this length take the chunked parallel path.
+///
+/// This is the pool's documented, test-pinned threshold constant: the
+/// boundary behavior (`len == PAR_THRESHOLD` ⇒ parallel) is asserted by
+/// `prim`'s boundary tests and by the proptests straddling it, so changing
+/// the value or the comparison direction fails loudly.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// No chunk is ever smaller than this (except when a single chunk covers
+/// the whole input): spawning a scoped thread costs tens of microseconds,
+/// so chunks must carry enough work to amortize it. With
+/// `PAR_THRESHOLD = 4096` and `MIN_CHUNK = 2048`, the smallest parallel
+/// input splits into exactly two chunks.
+pub const MIN_CHUNK: usize = 2048;
+
+/// Process-global thread count; `0` means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; `0` means "not set".
+    static TLS_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// True while this thread is executing a pool task (worker or the
+    /// caller processing its own chunk): nested primitives go sequential.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `PRAM_SSSP_THREADS`, parsed once per process. Invalid or zero ⇒ `None`.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PRAM_SSSP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+    })
+}
+
+/// The thread count the next primitive call on this thread will use.
+/// Resolution order: [`with_threads`] scope > [`set_global_threads`] >
+/// `PRAM_SSSP_THREADS` > available parallelism. Always ≥ 1; exactly 1
+/// inside a pool worker (nested parallelism collapses to sequential).
+pub fn current_threads() -> usize {
+    if IN_POOL.with(|c| c.get()) {
+        return 1;
+    }
+    let tls = TLS_THREADS.with(|c| c.get());
+    if tls > 0 {
+        return tls;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Some(t) = env_threads() {
+        return t;
+    }
+    // Cached: `available_parallelism` is a syscall, and this accessor sits
+    // on the hot path of every primitive.
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Set the process-global thread count — an operator-level knob for
+/// embedding applications (per-oracle pinning uses scoped
+/// [`with_threads`] via `OracleBuilder::threads` instead). `0` clears the
+/// setting, restoring the env-var/hardware default. Scoped
+/// [`with_threads`] overrides still win.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Run `f` with the thread count pinned to `threads.max(1)` on this thread
+/// (and on the pool scopes it opens). Restores the previous override on
+/// exit, including on panic — safe to nest.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TLS_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = TLS_THREADS.with(|c| c.get());
+    let _restore = Restore(prev);
+    TLS_THREADS.with(|c| c.set(threads.max(1)));
+    f()
+}
+
+/// True when a length-`len` input should take the chunked parallel path:
+/// `len >= PAR_THRESHOLD` **and** more than one thread is available (which
+/// is never the case inside a pool worker).
+#[inline]
+pub fn parallel_eligible(len: usize) -> bool {
+    len >= PAR_THRESHOLD && current_threads() > 1
+}
+
+/// The deterministic chunking rule: split `0..len` into
+/// `min(threads, len / MIN_CHUNK)` (at least 1) contiguous chunks whose
+/// sizes differ by at most one, earlier chunks taking the remainder.
+/// Depends on nothing but the two arguments — in particular, not on
+/// scheduling — so the split is reproducible by construction.
+pub fn chunk_bounds(len: usize, threads: usize) -> Vec<Range<usize>> {
+    balanced_split(len, threads.max(1).min((len / MIN_CHUNK).max(1)))
+}
+
+/// `nchunks` balanced contiguous chunks of `0..len`, earlier chunks taking
+/// the remainder (callers guarantee `1 ≤ nchunks ≤ len` unless `len == 0`).
+fn balanced_split(len: usize, nchunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / nchunks;
+    let rem = len % nchunks;
+    let mut bounds = Vec::with_capacity(nchunks);
+    let mut start = 0usize;
+    for i in 0..nchunks {
+        let size = base + usize::from(i < rem);
+        bounds.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    bounds
+}
+
+/// Chunking for **coarse-grained task lists** — `len` items that are each
+/// a substantial computation (e.g. one full Bellman–Ford exploration per
+/// item), not array elements: `min(threads, len)` balanced contiguous
+/// chunks with **no** [`MIN_CHUNK`] floor. Same determinism properties as
+/// [`chunk_bounds`] (a pure function of the two arguments); pass the
+/// result to [`run_chunks`].
+pub fn task_bounds(len: usize, threads: usize) -> Vec<Range<usize>> {
+    balanced_split(len, threads.max(1).min(len.max(1)))
+}
+
+/// Run `f` with this thread marked as a pool worker (nested primitives
+/// collapse to sequential). Restores the flag on exit.
+#[cfg_attr(feature = "seq-shim", allow(dead_code))]
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_POOL.with(|c| c.set(self.0));
+        }
+    }
+    let prev = IN_POOL.with(|c| c.get());
+    let _restore = Restore(prev);
+    IN_POOL.with(|c| c.set(true));
+    f()
+}
+
+/// Execute `task` once per chunk and return the per-chunk results **in
+/// chunk order**. Chunks `1..` run on freshly spawned scoped threads; the
+/// calling thread processes chunk `0` concurrently. A panicking task
+/// propagates to the caller.
+///
+/// With `--features seq-shim` this routes through the sequential `rayon`
+/// shim instead (same results, no threads).
+pub fn run_chunks<R: Send>(
+    bounds: &[Range<usize>],
+    task: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    #[cfg(feature = "seq-shim")]
+    {
+        use rayon::prelude::*;
+        bounds.par_iter().cloned().map(task).collect()
+    }
+    #[cfg(not(feature = "seq-shim"))]
+    {
+        if bounds.len() <= 1 {
+            return bounds.iter().cloned().map(task).collect();
+        }
+        std::thread::scope(|s| {
+            let task = &task;
+            let handles: Vec<_> = bounds[1..]
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    s.spawn(move || as_worker(|| task(r)))
+                })
+                .collect();
+            let mut out = Vec::with_capacity(bounds.len());
+            out.push(as_worker(|| task(bounds[0].clone())));
+            for h in handles {
+                match h.join() {
+                    Ok(r) => out.push(r),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            out
+        })
+    }
+}
+
+/// Split `data` at `bounds` (which must partition `0..data.len()`, as
+/// produced by [`chunk_bounds`]) and execute `task(chunk_index, chunk)`
+/// for every chunk, chunks `1..` on scoped threads. Writes are disjoint by
+/// construction, so no merge step exists and determinism is structural.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    bounds: &[Range<usize>],
+    task: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(bounds.len());
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for (ci, r) in bounds.iter().enumerate() {
+        assert_eq!(r.start, consumed, "bounds must be contiguous from 0");
+        let (piece, tail) = rest.split_at_mut(r.end - r.start);
+        pieces.push((ci, piece));
+        rest = tail;
+        consumed = r.end;
+    }
+    assert!(rest.is_empty(), "bounds must cover the whole slice");
+    #[cfg(feature = "seq-shim")]
+    {
+        use rayon::prelude::*;
+        pieces
+            .into_par_iter()
+            .for_each(|(ci, piece)| task(ci, piece));
+    }
+    #[cfg(not(feature = "seq-shim"))]
+    {
+        if pieces.len() <= 1 {
+            for (ci, piece) in pieces {
+                task(ci, piece);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            let task = &task;
+            let mut iter = pieces.into_iter();
+            let first = iter.next().expect("at least one chunk");
+            let handles: Vec<_> = iter
+                .map(|(ci, piece)| s.spawn(move || as_worker(|| task(ci, piece))))
+                .collect();
+            as_worker(|| task(first.0, first.1));
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_pinned() {
+        // The documented contract of the pool: 4096, and `len == threshold`
+        // takes the parallel path (see `parallel_eligible`).
+        assert_eq!(PAR_THRESHOLD, 4096);
+        with_threads(4, || {
+            assert!(!parallel_eligible(PAR_THRESHOLD - 1));
+            assert!(parallel_eligible(PAR_THRESHOLD));
+            assert!(parallel_eligible(PAR_THRESHOLD + 1));
+        });
+        // One thread ⇒ never parallel, whatever the length.
+        with_threads(1, || assert!(!parallel_eligible(PAR_THRESHOLD)));
+    }
+
+    #[test]
+    fn chunk_bounds_partition_and_balance() {
+        for len in [0usize, 1, 2, 5, 4096, 4097, 10_000, 1 << 20] {
+            for t in [1usize, 2, 3, 4, 8, 64] {
+                let b = chunk_bounds(len, t);
+                if len == 0 {
+                    assert!(b.is_empty());
+                    continue;
+                }
+                // The documented rule: min(threads, len / MIN_CHUNK), ≥ 1.
+                assert_eq!(b.len(), t.min((len / MIN_CHUNK).max(1)), "len={len} t={t}");
+                let mut next = 0usize;
+                let mut sizes = Vec::new();
+                for r in &b {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                    sizes.push(r.len());
+                }
+                assert_eq!(next, len);
+                let (max, min) = (sizes.iter().max().unwrap(), sizes.iter().min().unwrap());
+                assert!(max - min <= 1, "len={len} t={t}");
+                // Earlier chunks take the remainder, and no multi-chunk
+                // split produces a sub-MIN_CHUNK chunk.
+                assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+                if b.len() > 1 {
+                    assert!(*min >= MIN_CHUNK, "len={len} t={t} min={min}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_bounds_has_no_min_chunk_floor() {
+        // Coarse task lists split one-chunk-per-thread even when tiny —
+        // the point is items that are each a big computation.
+        for (len, t, expect) in [(64usize, 4usize, 4usize), (3, 8, 3), (1, 8, 1), (0, 4, 0)] {
+            let b = task_bounds(len, t);
+            assert_eq!(b.len(), expect, "len={len} t={t}");
+            let covered: usize = b.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, len);
+            if let (Some(max), Some(min)) = (
+                b.iter().map(|r| r.len()).max(),
+                b.iter().map(|r| r.len()).min(),
+            ) {
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunks_merges_in_chunk_order() {
+        let bounds = chunk_bounds(10_000, 4);
+        let parts = run_chunks(&bounds, |r| r.map(|i| i as u64).sum::<u64>());
+        assert_eq!(parts.len(), 4);
+        // Chunk order, not completion order: chunk 0's sum is the smallest.
+        assert!(parts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(parts.iter().sum::<u64>(), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_disjointly() {
+        let mut v = vec![0u32; 10_001];
+        let bounds = chunk_bounds(v.len(), 8);
+        for_each_chunk_mut(&mut v, &bounds, |ci, piece| {
+            for slot in piece.iter_mut() {
+                *slot += 1 + ci as u32;
+            }
+        });
+        // Every slot written exactly once, chunk index recoverable.
+        for (r, ci) in bounds.iter().zip(0u32..) {
+            assert!(v[r.clone()].iter().all(|&x| x == 1 + ci));
+        }
+    }
+
+    #[test]
+    fn with_threads_scopes_and_restores() {
+        let before = TLS_THREADS.with(|c| c.get());
+        let inner = with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(2, current_threads)
+        });
+        assert_eq!(inner, 2);
+        // The scoped override is fully unwound (tested on the TLS cell
+        // itself: the resolved count may race with other tests touching the
+        // process-global setting).
+        assert_eq!(TLS_THREADS.with(|c| c.get()), before);
+        // Zero clamps to one rather than clearing mid-scope.
+        assert_eq!(with_threads(0, current_threads), 1);
+    }
+
+    // Under `seq-shim` no workers exist, so the nested-collapse flag is
+    // never set (everything is sequential anyway).
+    #[cfg(not(feature = "seq-shim"))]
+    #[test]
+    fn nested_calls_collapse_to_sequential() {
+        with_threads(4, || {
+            let bounds = chunk_bounds(4 * MIN_CHUNK, 4);
+            assert_eq!(bounds.len(), 4);
+            let nested = run_chunks(&bounds, |_| current_threads());
+            // Inside a worker (or the caller acting as one) the pool reports
+            // a single thread, so nested primitives cannot fan out.
+            assert_eq!(nested, vec![1, 1, 1, 1]);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let bounds = chunk_bounds(8_192, 4);
+                run_chunks(&bounds, |r| {
+                    assert!(r.start < 4_000, "deliberate test panic");
+                    0u8
+                })
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn global_setting_applies_and_clears() {
+        // Touch the global API on a throwaway value; TLS overrides win, so
+        // scope the assertion with them removed.
+        set_global_threads(5);
+        let seen = TLS_THREADS.with(|c| c.get());
+        if seen == 0 && !IN_POOL.with(|c| c.get()) {
+            assert_eq!(current_threads(), 5);
+        }
+        set_global_threads(0);
+    }
+}

@@ -5,19 +5,19 @@
 //! algorithm of Shiloach and Vishkin"; this module supplies the prefix part.
 //! Charged at depth `⌈log2 m⌉`, work `m`.
 
-use crate::Ledger;
-use rayon::prelude::*;
+use crate::{pool, Ledger};
 
 /// Exclusive prefix sum: `out[i] = Σ_{j<i} xs[j]`, plus the grand total.
 ///
-/// Parallel three-phase scan (chunk sums → sequential scan of chunk sums →
-/// chunk-local rescan); deterministic because addition over `u64` here is
-/// associative and chunk boundaries are fixed by input length, not thread
-/// scheduling.
+/// Parallel three-phase scan on the chunked pool (per-chunk sums →
+/// sequential scan of the chunk sums → chunk-local rescan into disjoint
+/// output chunks); deterministic because addition over `u64` is associative
+/// — the chunk boundaries ([`pool::chunk_bounds`]) depend only on input
+/// length and configured thread count, and the *values* don't depend on
+/// them at all.
 pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) {
     ledger.scan(xs.len() as u64);
-    const CHUNK: usize = 1 << 14;
-    if xs.len() <= CHUNK {
+    if !pool::parallel_eligible(xs.len()) {
         let mut out = Vec::with_capacity(xs.len());
         let mut acc = 0u64;
         for &x in xs {
@@ -26,7 +26,8 @@ pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) 
         }
         return (out, acc);
     }
-    let chunk_sums: Vec<u64> = xs.par_chunks(CHUNK).map(|c| c.iter().sum()).collect();
+    let bounds = pool::chunk_bounds(xs.len(), pool::current_threads());
+    let chunk_sums = pool::run_chunks(&bounds, |r| xs[r].iter().sum::<u64>());
     let mut chunk_off = Vec::with_capacity(chunk_sums.len());
     let mut acc = 0u64;
     for &s in &chunk_sums {
@@ -34,16 +35,14 @@ pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) 
         acc += s;
     }
     let mut out = vec![0u64; xs.len()];
-    out.par_chunks_mut(CHUNK)
-        .zip(xs.par_chunks(CHUNK))
-        .zip(chunk_off.par_iter())
-        .for_each(|((o, c), &base)| {
-            let mut a = base;
-            for (slot, &x) in o.iter_mut().zip(c) {
-                *slot = a;
-                a += x;
-            }
-        });
+    let starts: Vec<usize> = bounds.iter().map(|r| r.start).collect();
+    pool::for_each_chunk_mut(&mut out, &bounds, |ci, o| {
+        let mut a = chunk_off[ci];
+        for (slot, &x) in o.iter_mut().zip(&xs[starts[ci]..]) {
+            *slot = a;
+            a += x;
+        }
+    });
     (out, acc)
 }
 
@@ -93,13 +92,26 @@ mod tests {
     fn large_prefix_sum_matches_sequential() {
         let xs: Vec<u64> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
         let mut l = Ledger::new();
-        let (out, total) = exclusive_prefix_sum(&xs, &mut l);
+        let (out, total) = pool::with_threads(4, || exclusive_prefix_sum(&xs, &mut l));
         let mut acc = 0u64;
         for i in 0..xs.len() {
             assert_eq!(out[i], acc, "index {i}");
             acc += xs[i];
         }
         assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let xs: Vec<u64> = (0..20_001).map(|i| (i * 2654435761) % 1009).collect();
+        let mut l1 = Ledger::new();
+        let baseline = pool::with_threads(1, || exclusive_prefix_sum(&xs, &mut l1));
+        for threads in [2usize, 3, 4, 8] {
+            let mut l = Ledger::new();
+            let got = pool::with_threads(threads, || exclusive_prefix_sum(&xs, &mut l));
+            assert_eq!(got, baseline, "threads={threads}");
+            assert_eq!(l, l1, "ledger threads={threads}");
+        }
     }
 
     #[test]

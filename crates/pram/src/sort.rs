@@ -4,12 +4,18 @@
 //! network \[AKS83\] (Appendix A, Algorithm 3; §4.1's peeling sorts the global
 //! array M). AKS is a purely theoretical device; every implementation-minded
 //! treatment substitutes a practical sort and keeps the counted cost. We run
-//! rayon's *stable* parallel merge sort (stability ⇒ output independent of
-//! thread count even with equal keys) and charge depth `⌈log2 m⌉`, work
-//! `m·⌈log2 m⌉` on the [`Ledger`].
+//! a *stable* chunked parallel merge sort on [`crate::pool`] (stability ⇒
+//! output independent of thread count even with equal keys) and charge depth
+//! `⌈log2 m⌉`, work `m·⌈log2 m⌉` on the [`Ledger`].
+//!
+//! Parallel scheme: the slice is split at the pool's deterministic chunk
+//! boundaries, each chunk is stably sorted on its own scoped thread, and a
+//! final sequential stable pass merges the presorted runs (std's stable
+//! sort is run-adaptive, so that pass costs the merge, not a full re-sort).
+//! A stable comparison sort has a *unique* output, so the result is the
+//! same as a fully sequential `sort_by` for every thread count.
 
-use crate::Ledger;
-use rayon::prelude::*;
+use crate::{pool, Ledger};
 use std::cmp::Ordering;
 
 /// Inputs shorter than this sort sequentially (perf-book: avoid parallel
@@ -22,11 +28,13 @@ const PAR_SORT_THRESHOLD: usize = 1 << 13;
 /// determined by the input even when `cmp` has ties.
 pub fn sort_by<T: Send>(v: &mut [T], ledger: &mut Ledger, cmp: impl Fn(&T, &T) -> Ordering + Sync) {
     ledger.sort(v.len() as u64);
-    if v.len() < PAR_SORT_THRESHOLD {
-        v.sort_by(cmp);
-    } else {
-        v.par_sort_by(cmp);
+    if v.len() < PAR_SORT_THRESHOLD || pool::current_threads() <= 1 {
+        v.sort_by(|a, b| cmp(a, b));
+        return;
     }
+    let bounds = pool::chunk_bounds(v.len(), pool::current_threads());
+    pool::for_each_chunk_mut(v, &bounds, |_, chunk| chunk.sort_by(|a, b| cmp(a, b)));
+    v.sort_by(|a, b| cmp(a, b));
 }
 
 /// Sort by a key function (stable), charging the PRAM cost to `ledger`.
@@ -36,11 +44,13 @@ pub fn sort_by_key<T: Send, K: Ord>(
     key: impl Fn(&T) -> K + Sync,
 ) {
     ledger.sort(v.len() as u64);
-    if v.len() < PAR_SORT_THRESHOLD {
-        v.sort_by_key(key);
-    } else {
-        v.par_sort_by_key(key);
+    if v.len() < PAR_SORT_THRESHOLD || pool::current_threads() <= 1 {
+        v.sort_by_key(|t| key(t));
+        return;
     }
+    let bounds = pool::chunk_bounds(v.len(), pool::current_threads());
+    pool::for_each_chunk_mut(v, &bounds, |_, chunk| chunk.sort_by_key(|t| key(t)));
+    v.sort_by_key(|t| key(t));
 }
 
 #[cfg(test)]
@@ -63,7 +73,7 @@ mod tests {
         let mut expect = v.clone();
         expect.sort();
         let mut l = Ledger::new();
-        sort_by_key(&mut v, &mut l, |&x| x);
+        crate::pool::with_threads(4, || sort_by_key(&mut v, &mut l, |&x| x));
         assert_eq!(v, expect);
     }
 
@@ -72,9 +82,28 @@ mod tests {
         // Pairs sharing a key must keep input order.
         let mut v: Vec<(u32, u32)> = (0..20_000).map(|i| (i % 5, i)).collect();
         let mut l = Ledger::new();
-        sort_by_key(&mut v, &mut l, |&(k, _)| k);
+        crate::pool::with_threads(8, || sort_by_key(&mut v, &mut l, |&(k, _)| k));
         for w in v.windows(2) {
             assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts_with_ties() {
+        let mk = || -> Vec<(u32, u32)> {
+            (0..30_000u32)
+                .map(|i| ((i.wrapping_mul(2654435761)) % 7, i))
+                .collect()
+        };
+        let mut baseline = mk();
+        let mut l1 = Ledger::new();
+        crate::pool::with_threads(1, || sort_by(&mut baseline, &mut l1, |a, b| a.0.cmp(&b.0)));
+        for threads in [2usize, 3, 4, 8] {
+            let mut v = mk();
+            let mut l = Ledger::new();
+            crate::pool::with_threads(threads, || sort_by(&mut v, &mut l, |a, b| a.0.cmp(&b.0)));
+            assert_eq!(v, baseline, "threads={threads}");
+            assert_eq!(l, l1);
         }
     }
 }

@@ -1,8 +1,27 @@
 //! Property tests for the PRAM primitives against sequential references.
+//!
+//! The second block below targets the `pram::pool` chunked thread pool:
+//! every pool-backed primitive must match its sequential reference on
+//! arbitrary inputs, at arbitrary thread counts, with lengths specifically
+//! straddling `PAR_THRESHOLD` (the sequential/parallel gate, including the
+//! exact-threshold edge) and chunk boundaries (`len = threads·k ± 1`).
 
 use pgraph::{gen, Graph, UnionView, VId};
-use pram::{cc, jump, prim, scan, sort, Ledger};
+use pram::{cc, jump, pool, prim, scan, sort, Ledger};
 use proptest::prelude::*;
+
+/// Lengths the pool proptests probe: tiny, straddling `PAR_THRESHOLD`,
+/// straddling `2·PAR_THRESHOLD` (two full parallel chunks per thread at
+/// low thread counts), and exact multiples of the thread count ± 1 (the
+/// balanced chunking rule's remainder edge).
+fn boundary_len(sel: usize, off: usize, threads: usize) -> usize {
+    match sel {
+        0 => off,                                           // 0..5: degenerate
+        1 => prim::PAR_THRESHOLD - 2 + off,                 // threshold − 2 .. + 2
+        2 => 2 * prim::PAR_THRESHOLD - 2 + off,             // 2·threshold − 2 .. + 2
+        _ => threads * (prim::PAR_THRESHOLD / 2) + off - 2, // k·threads ± 2
+    }
+}
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (8usize..80, 0usize..3, any::<u64>())
@@ -159,5 +178,114 @@ proptest! {
         p.absorb_parallel(&b);
         prop_assert_eq!(p.depth(), steps_a.max(steps_b));
         prop_assert_eq!(p.work(), (steps_a + steps_b) * w);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `par_map` (slice) equals the sequential map, in order.
+    #[test]
+    fn pool_map_matches(sel in 0usize..4, off in 0usize..5, threads in 1usize..9, mul in any::<u64>()) {
+        let len = boundary_len(sel, off, threads);
+        let items: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(mul)).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.rotate_left(7) ^ 0xA5A5).collect();
+        let got = pool::with_threads(threads, || prim::par_map(&items, |x| x.rotate_left(7) ^ 0xA5A5));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `par_map_range` equals the sequential range map, in order.
+    #[test]
+    fn pool_map_range_matches(sel in 0usize..4, off in 0usize..5, threads in 1usize..9, mul in any::<u64>()) {
+        let len = boundary_len(sel, off, threads);
+        let f = |i: usize| (i as u64).wrapping_mul(mul) % 65_537;
+        let expect: Vec<u64> = (0..len).map(f).collect();
+        let got = pool::with_threads(threads, || prim::par_map_range(len, f));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `par_fill` writes exactly the sequential fill.
+    #[test]
+    fn pool_fill_matches(sel in 0usize..4, off in 0usize..5, threads in 1usize..9, mul in any::<u64>()) {
+        let len = boundary_len(sel, off, threads);
+        let f = |i: usize| (i as u64).wrapping_add(mul).wrapping_mul(2654435761);
+        let expect: Vec<u64> = (0..len).map(f).collect();
+        let mut got = vec![0u64; len];
+        pool::with_threads(threads, || prim::par_fill(&mut got, f));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `par_argmin_by_key` matches the sequential argmin with
+    /// smallest-index ties, at boundary lengths and heavy tie density.
+    #[test]
+    fn pool_argmin_matches(sel in 0usize..4, off in 0usize..5, threads in 1usize..9, mul in any::<u64>(), modulus in 1u64..20) {
+        let len = boundary_len(sel, off, threads);
+        let items: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(mul) % modulus).collect();
+        let expect = items
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &x)| (x, *i))
+            .map(|(i, _)| i);
+        let got = pool::with_threads(threads, || prim::par_argmin_by_key(&items, |&x| x));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `par_sum_range` equals the sequential sum.
+    #[test]
+    fn pool_sum_matches(sel in 0usize..4, off in 0usize..5, threads in 1usize..9, mul in any::<u64>()) {
+        let len = boundary_len(sel, off, threads);
+        let f = |i: usize| (i as u64).wrapping_mul(mul) % 1_000_003;
+        let expect: u64 = (0..len).map(f).sum();
+        prop_assert_eq!(pool::with_threads(threads, || prim::par_sum_range(len, f)), expect);
+    }
+
+    /// `par_any_range` equals the sequential any — for targets inside every
+    /// chunk, at chunk edges, and absent.
+    #[test]
+    fn pool_any_matches(sel in 0usize..4, off in 0usize..5, threads in 1usize..9, target in any::<u64>()) {
+        let len = boundary_len(sel, off, threads);
+        // Probe both a maybe-present target and a definitely-absent one.
+        let t = if len == 0 { 0 } else { (target as usize) % (2 * len) };
+        let expect = (0..len).any(|i| i == t);
+        prop_assert_eq!(pool::with_threads(threads, || prim::par_any_range(len, |i| i == t)), expect);
+        prop_assert!(!pool::with_threads(threads, || prim::par_any_range(len, |i| i == len)));
+    }
+
+    /// The pool-backed scan equals the sequential prefix sum at lengths
+    /// around its parallel gate, at any thread count, with the same ledger.
+    #[test]
+    fn pool_scan_matches(sel in 0usize..4, off in 0usize..5, threads in 1usize..9, mul in any::<u64>()) {
+        let len = boundary_len(sel, off, threads);
+        let xs: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(mul) % 1009).collect();
+        let mut seq_out = Vec::with_capacity(len);
+        let mut acc = 0u64;
+        for &x in &xs {
+            seq_out.push(acc);
+            acc += x;
+        }
+        let mut l = Ledger::new();
+        let (out, total) = pool::with_threads(threads, || scan::exclusive_prefix_sum(&xs, &mut l));
+        prop_assert_eq!(out, seq_out);
+        prop_assert_eq!(total, acc);
+        let mut l1 = Ledger::new();
+        let _ = pool::with_threads(1, || scan::exclusive_prefix_sum(&xs, &mut l1));
+        prop_assert_eq!(l, l1);
+    }
+
+    /// The pool-backed stable sort equals `slice::sort_by` (unique stable
+    /// output) around its own parallel threshold, with equal keys present.
+    #[test]
+    fn pool_sort_matches(delta in 0usize..5, threads in 1usize..9, mul in any::<u32>(), modulus in 1u32..9) {
+        // PAR_SORT_THRESHOLD is 1 << 13; straddle it by ±2.
+        let len = (1usize << 13) - 2 + delta;
+        let mk = || -> Vec<(u32, u32)> {
+            (0..len as u32).map(|i| (i.wrapping_mul(mul) % modulus, i)).collect()
+        };
+        let mut expect = mk();
+        expect.sort_by_key(|e| e.0); // std stable sort: the reference
+        let mut got = mk();
+        let mut l = Ledger::new();
+        pool::with_threads(threads, || sort::sort_by(&mut got, &mut l, |a, b| a.0.cmp(&b.0)));
+        prop_assert_eq!(got, expect);
     }
 }

@@ -18,7 +18,6 @@ pub use crate::oracle::MultiSourceResult;
 use hopset::{build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamError, ParamMode};
 use pgraph::{Graph, UnionView, VId, Weight};
 use pram::{bford, Ledger};
-use rayon::prelude::*;
 
 /// A built query engine: the graph plus its hopset, borrowed for `'g`.
 ///
@@ -116,18 +115,33 @@ impl<'g> ApproxShortestPaths<'g> {
     }
 
     /// `(1+ε)`-approximate distances for all pairs in `S × V` (aMSSD,
-    /// Theorem 3.8): `|S|` independent `β`-round explorations, executed in
-    /// parallel (work adds, depth does not).
+    /// Theorem 3.8): `|S|` independent `β`-round explorations, charged as
+    /// parallel on the ledger (work adds, depth does not). Same execution
+    /// policy as `Oracle::distances_multi`: on graphs below
+    /// `PAR_THRESHOLD` vertices the pool fans out across sources
+    /// (per-round primitives would stay sequential anyway); on larger
+    /// graphs each exploration's rounds are data-parallel instead.
     pub fn distances_multi(&self, sources: &[VId]) -> MultiSourceResult {
+        use pram::pool;
         let hops = self.query_hops();
-        let per_source: Vec<(Vec<Weight>, Ledger)> = sources
-            .par_iter()
-            .map(|&s| {
-                let mut ledger = Ledger::new();
-                let r = bford::bellman_ford(&self.view, &[s], hops, &mut ledger);
-                (r.dist, ledger)
-            })
-            .collect();
+        let explore = |s: VId| {
+            let mut ledger = Ledger::new();
+            let r = bford::bellman_ford(&self.view, &[s], hops, &mut ledger);
+            (r.dist, ledger)
+        };
+        let threads = pool::current_threads();
+        let per_source: Vec<(Vec<Weight>, Ledger)> =
+            if self.g.num_vertices() < pool::PAR_THRESHOLD && sources.len() > 1 && threads > 1 {
+                let bounds = pool::task_bounds(sources.len(), threads);
+                pool::run_chunks(&bounds, |r| {
+                    r.map(|i| explore(sources[i])).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                sources.iter().map(|&s| explore(s)).collect()
+            };
         let mut ledger = Ledger::new();
         let mut dist = DistanceMatrix::with_capacity(sources.len(), self.g.num_vertices());
         for (row, l) in &per_source {

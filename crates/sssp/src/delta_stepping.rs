@@ -191,6 +191,23 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_across_thread_counts() {
+        // Above PAR_THRESHOLD vertices: the relaxation rounds run chunked
+        // on the pool and must stay bit-identical.
+        let g = gen::gnm_connected(5000, 10_000, 11, 1.0, 9.0);
+        let base = pram::pool::with_threads(1, || delta_stepping(&g, 0, 2.0));
+        for threads in [2usize, 4, 8] {
+            let r = pram::pool::with_threads(threads, || delta_stepping(&g, 0, 2.0));
+            assert_eq!(r.buckets, base.buckets, "threads={threads}");
+            assert_eq!(r.light_rounds, base.light_rounds);
+            assert_eq!(r.ledger, base.ledger);
+            for (x, y) in r.dist.iter().zip(&base.dist) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn depth_grows_with_diameter_unlike_hopset_queries() {
         // The point of E10: Δ-stepping's round count is Θ(diameter/Δ) on a
         // path, while the hopset query is a fixed β rounds.

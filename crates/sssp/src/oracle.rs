@@ -19,7 +19,10 @@
 //!   **owns** the graph via `Arc<Graph>`, pre-builds the `G ∪ H` union CSR
 //!   once (queries reuse it), auto-selects the plain (§2) vs
 //!   Klein–Sairam-reduced (Appendix C) pipeline from the aspect-ratio
-//!   bound, and serves SPT extraction from the same built object;
+//!   bound, serves SPT extraction from the same built object, and can pin
+//!   its own `pram::pool` thread count
+//!   ([`threads`](OracleBuilder::threads)) for construction and queries —
+//!   results are bit-identical for every choice (DESIGN.md §5);
 //! * [`DeltaSteppingOracle`] / [`DijkstraOracle`] — the exact baselines of
 //!   experiment E10 behind the same trait;
 //! * [`SsspError`] — one error type for parameter validation, invalid
@@ -48,9 +51,20 @@ use hopset::params::{HopsetParams, ParamError, ParamMode};
 use hopset::path_report::{build_spt_on, build_spt_reduced_on, SptResult};
 use hopset::reduction::{build_reduced_hopset, ReducedHopset};
 use pgraph::{ceil_log2, Graph, UnionGraph, VId, Weight, INF};
-use pram::{bford, Ledger};
-use rayon::prelude::*;
+use pram::{bford, pool, Ledger};
 use std::sync::Arc;
+
+/// Run `f` under the oracle's pinned thread count, if one was configured
+/// ([`OracleBuilder::threads`]); otherwise inherit the process-wide
+/// resolution (`pram::pool`: scoped override > global > `PRAM_SSSP_THREADS`
+/// > hardware).
+#[inline]
+fn scoped_threads<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    match threads {
+        Some(t) => pool::with_threads(t, f),
+        None => f(),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -337,6 +351,7 @@ pub struct OracleBuilder {
     hop_cap: Option<usize>,
     paths: bool,
     pipeline: Pipeline,
+    threads: Option<usize>,
 }
 
 impl OracleBuilder {
@@ -388,6 +403,17 @@ impl OracleBuilder {
         self
     }
 
+    /// Pin the pool thread count this oracle constructs **and** queries
+    /// with (`pram::pool`'s deterministic chunked scheduling makes results
+    /// bit-identical for every choice — this knob trades wall-clock only).
+    /// `0` is clamped to `1`. Default: inherit the process-wide resolution
+    /// (scoped `pool::with_threads` > `pool::set_global_threads` >
+    /// `PRAM_SSSP_THREADS` > hardware parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Build the oracle: validate the configuration, run the deterministic
     /// hopset construction, and assemble the owned `G ∪ H` union CSR that
     /// every subsequent query reuses.
@@ -426,7 +452,7 @@ impl OracleBuilder {
         let opts = BuildOptions {
             record_paths: self.paths,
         };
-        let (backend, query_hops) = match pipeline {
+        let (backend, query_hops) = scoped_threads(self.threads, || match pipeline {
             Pipeline::Plain => {
                 let params = HopsetParams::new(
                     n,
@@ -439,15 +465,15 @@ impl OracleBuilder {
                 )?;
                 let built = build_hopset(g, &params, opts);
                 let hops = built.params.query_hops;
-                (OracleBackend::Plain(built), hops)
+                Ok::<_, SsspError>((OracleBackend::Plain(built), hops))
             }
             Pipeline::Reduced => {
                 let reduced = build_reduced_hopset(g, self.eps, self.kappa, rho, self.mode, opts)?;
                 let hops = reduced.query_hops;
-                (OracleBackend::Reduced(reduced), hops)
+                Ok((OracleBackend::Reduced(reduced), hops))
             }
             Pipeline::Auto => unreachable!("resolved above"),
-        };
+        })?;
 
         // Satellite of the redesign: the union CSR is built exactly once;
         // distances_from / distances_multi / spt all reuse it.
@@ -464,6 +490,7 @@ impl OracleBuilder {
             kappa: self.kappa,
             query_hops,
             paths: self.paths,
+            threads: self.threads,
         })
     }
 }
@@ -488,6 +515,7 @@ pub struct Oracle {
     kappa: usize,
     query_hops: usize,
     paths: bool,
+    threads: Option<usize>,
 }
 
 impl Oracle {
@@ -503,6 +531,7 @@ impl Oracle {
             hop_cap: None,
             paths: false,
             pipeline: Pipeline::Auto,
+            threads: None,
         }
     }
 
@@ -553,6 +582,12 @@ impl Oracle {
         self.paths
     }
 
+    /// The pinned pool thread count, if [`OracleBuilder::threads`] set one
+    /// (`None` = inherit the process-wide resolution at query time).
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// The plain-pipeline construction report, if that pipeline backs the
     /// oracle.
     pub fn built(&self) -> Option<&BuiltHopset> {
@@ -579,10 +614,10 @@ impl Oracle {
             return Err(SsspError::PathsNotRecorded);
         }
         let view = self.union.view();
-        Ok(match &self.backend {
+        Ok(scoped_threads(self.threads, || match &self.backend {
             OracleBackend::Plain(b) => build_spt_on(&view, b, source),
             OracleBackend::Reduced(r) => build_spt_reduced_on(&view, r, source),
-        })
+        }))
     }
 
     /// Measure the stretch-vs-hop-budget curve of this oracle's `G ∪ H`
@@ -595,11 +630,9 @@ impl Oracle {
         for &s in sources {
             check_source(self.num_vertices(), s)?;
         }
-        Ok(crate::eval::stretch_vs_hops_view(
-            &self.union.view(),
-            sources,
-            budgets,
-        ))
+        Ok(scoped_threads(self.threads, || {
+            crate::eval::stretch_vs_hops_view(&self.union.view(), sources, budgets)
+        }))
     }
 }
 
@@ -629,26 +662,45 @@ impl DistanceOracle for Oracle {
     fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
         check_source(self.num_vertices(), source)?;
         let mut ledger = Ledger::new();
-        let r = bford::bellman_ford(&self.union.view(), &[source], self.query_hops, &mut ledger);
+        let r = scoped_threads(self.threads, || {
+            bford::bellman_ford(&self.union.view(), &[source], self.query_hops, &mut ledger)
+        });
         Ok((r.dist, ledger))
     }
 
-    /// `|S|` independent β-hop explorations over the shared union CSR,
-    /// executed in parallel (Theorem 3.8: work adds, depth does not).
+    /// `|S|` independent β-hop explorations over the shared union CSR.
+    /// On graphs below `PAR_THRESHOLD` vertices (where the per-round
+    /// primitives stay sequential) the pool fans out **across sources**
+    /// instead — coarse `task_bounds` chunks of the source list, rows
+    /// collected in source order, so the result is bit-identical either
+    /// way. The batch is *charged* as parallel on the ledger regardless
+    /// (Theorem 3.8: work adds, depth does not — the PRAM claim is the
+    /// counted one).
     fn distances_multi(&self, sources: &[VId]) -> Result<MultiSourceResult, SsspError> {
         let n = self.num_vertices();
         for &s in sources {
             check_source(n, s)?;
         }
         let hops = self.query_hops;
-        let per_source: Vec<(Vec<Weight>, Ledger)> = sources
-            .par_iter()
-            .map(|&s| {
-                let mut ledger = Ledger::new();
-                let r = bford::bellman_ford(&self.union.view(), &[s], hops, &mut ledger);
-                (r.dist, ledger)
-            })
-            .collect();
+        let explore = |s: VId| {
+            let mut ledger = Ledger::new();
+            let r = bford::bellman_ford(&self.union.view(), &[s], hops, &mut ledger);
+            (r.dist, ledger)
+        };
+        let per_source: Vec<(Vec<Weight>, Ledger)> = scoped_threads(self.threads, || {
+            let threads = pool::current_threads();
+            if n < pool::PAR_THRESHOLD && sources.len() > 1 && threads > 1 {
+                let bounds = pool::task_bounds(sources.len(), threads);
+                pool::run_chunks(&bounds, |r| {
+                    r.map(|i| explore(sources[i])).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                sources.iter().map(|&s| explore(s)).collect()
+            }
+        });
         let mut ledger = Ledger::new();
         let mut dist = DistanceMatrix::with_capacity(sources.len(), n);
         for (row, l) in &per_source {
@@ -670,7 +722,9 @@ impl DistanceOracle for Oracle {
             check_source(n, s)?;
         }
         let mut ledger = Ledger::new();
-        let r = bford::bellman_ford(&self.union.view(), sources, self.query_hops, &mut ledger);
+        let r = scoped_threads(self.threads, || {
+            bford::bellman_ford(&self.union.view(), sources, self.query_hops, &mut ledger)
+        });
         Ok(r.dist)
     }
 }

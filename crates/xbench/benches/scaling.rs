@@ -1,11 +1,14 @@
-//! Criterion bench: thread scaling of the construction — the wall-clock
-//! counterpart of the PRAM parallelism claims (rayon work-stealing over the
-//! synchronous rounds). Results are identical across thread counts
-//! (determinism contract); only the wall clock changes.
+//! Criterion bench: thread scaling — the wall-clock counterpart of the
+//! PRAM parallelism claims, now running on `pram::pool`'s real scoped
+//! threads (deterministic chunked scheduling). Results are bit-identical
+//! across thread counts (determinism contract, DESIGN.md §5); only the
+//! wall clock changes. On a single-core host the threads timeslice, so
+//! expect flat curves there — the speedup claim needs real cores.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hopset::{build_hopset, BuildOptions, HopsetParams, ParamMode};
 use pgraph::gen;
+use pram::pool;
 use std::hint::black_box;
 
 fn bench_thread_scaling(c: &mut Criterion) {
@@ -24,19 +27,13 @@ fn bench_thread_scaling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("scaling/threads-gnm-2048");
     group.sample_size(10);
-    let max_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
     for &threads in &[1usize, 2, 4, 8] {
-        if threads > max_threads {
-            continue;
-        }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| pool.install(|| black_box(build_hopset(&g, &p, BuildOptions::default()))))
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                pool::with_threads(t, || {
+                    black_box(build_hopset(&g, &p, BuildOptions::default()))
+                })
+            })
         });
     }
     group.finish();
@@ -46,24 +43,22 @@ fn bench_query_thread_scaling(c: &mut Criterion) {
     use sssp::DistanceOracle;
     let n = 4096usize;
     let g = gen::gnm_connected(n, 6 * n, 3, 1.0, 16.0);
-    let oracle = sssp::Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
     let sources: Vec<u32> = (0..8).map(|i| (i * n / 8) as u32).collect();
 
     let mut group = c.benchmark_group("scaling/amssd-threads");
     group.sample_size(10);
-    let max_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    for &threads in &[1usize, 4, 8] {
-        if threads > max_threads {
-            continue;
-        }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
+    for &threads in &[1usize, 2, 4, 8] {
+        // The builder's `.threads(t)` pins the pool for construction and
+        // every query on this oracle — the serving-system configuration
+        // path (no ambient state needed at query time).
+        let oracle = sssp::Oracle::builder(g.clone())
+            .eps(0.25)
+            .kappa(4)
+            .threads(threads)
             .build()
             .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| pool.install(|| black_box(oracle.distances_multi(&sources).unwrap())))
+            b.iter(|| black_box(oracle.distances_multi(&sources).unwrap()))
         });
     }
     group.finish();

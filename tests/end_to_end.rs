@@ -92,11 +92,9 @@ fn determinism_across_thread_counts() {
     )
     .unwrap();
     let run = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .unwrap();
-        pool.install(|| build_hopset(&g, &params, BuildOptions::default()))
+        pram::pool::with_threads(threads, || {
+            build_hopset(&g, &params, BuildOptions::default())
+        })
     };
     let a = run(1);
     let b = run(2);
@@ -214,11 +212,7 @@ fn reduced_pipeline_determinism_across_threads() {
     // as deterministic as the plain pipeline.
     let g = pgraph::gen::wide_weights(80, 160, 12, 5);
     let run = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .unwrap();
-        pool.install(|| {
+        pram::pool::with_threads(threads, || {
             build_reduced_hopset(
                 &g,
                 0.4,
@@ -244,11 +238,7 @@ fn reduced_pipeline_determinism_across_threads() {
 fn spt_determinism_across_threads() {
     let g = pgraph::gen::clique_chain(5, 8, 2.0);
     let run = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .unwrap();
-        pool.install(|| {
+        pram::pool::with_threads(threads, || {
             let p =
                 HopsetParams::practical(g.num_vertices(), 0.25, 4, g.aspect_ratio_bound()).unwrap();
             let built = build_hopset(&g, &p, BuildOptions { record_paths: true });
