@@ -29,6 +29,9 @@ use pram::Ledger;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::virtual_bfs::ExploreScratch;
+use pram::Executor;
+
 /// Outcome of the randomized construction.
 #[derive(Clone, Debug)]
 pub struct RandomHopset {
@@ -48,6 +51,7 @@ pub struct RandomHopset {
 pub fn build_random_hopset(g: &Graph, params: &HopsetParams, seed: u64) -> RandomHopset {
     let n = g.num_vertices();
     assert_eq!(params.n, n);
+    let exec = Executor::current();
     let mut ledger = Ledger::new();
     let mut hopset = Hopset::new();
     let k0 = params.k0();
@@ -64,6 +68,7 @@ pub fn build_random_hopset(g: &Graph, params: &HopsetParams, seed: u64) -> Rando
         let view = UnionView::with_extra(g, &overlay);
         let sp = ScaleParams::derive(params, k, eps_prev);
         build_scale(
+            &exec,
             g,
             &view,
             &extra_ids,
@@ -87,6 +92,7 @@ pub fn build_random_hopset(g: &Graph, params: &HopsetParams, seed: u64) -> Rando
 
 #[allow(clippy::too_many_arguments)]
 fn build_scale(
+    exec: &Executor,
     g: &Graph,
     view: &UnionView<'_>,
     extra_ids: &[u32],
@@ -101,6 +107,7 @@ fn build_scale(
     let mut part = Partition::singletons(n);
     let cm_store = ClusterMemory::trivial(n, false);
     let mut cm = cm_store;
+    let mut scratch = ExploreScratch::new();
 
     for i in 0..=params.ell {
         let n_clusters = part.len();
@@ -109,6 +116,7 @@ fn build_scale(
         }
         let deg_i = params.degrees[i];
         let ex = Explorer {
+            exec,
             view,
             part: &part,
             cm: &cm,
@@ -119,7 +127,7 @@ fn build_scale(
         };
 
         if i == params.ell {
-            let m = ex.detect_neighbors(n_clusters, ledger);
+            let m = ex.detect_neighbors(n_clusters, &mut scratch, ledger);
             interconnect_all(
                 &part,
                 &m,
@@ -139,11 +147,11 @@ fn build_scale(
             .collect();
 
         // One-pulse BFS: neighbors of sampled clusters join them.
-        let det = ex.bfs(&sampled, 1, ledger);
+        let det = ex.bfs(&sampled, 1, &mut scratch, ledger);
 
         // Interconnect the rest (bounded neighbor lists).
         let x = 4 * deg_i + 1;
-        let m = ex.detect_neighbors(x, ledger);
+        let m = ex.detect_neighbors(x, &mut scratch, ledger);
         let u_set: Vec<u32> = (0..n_clusters as u32)
             .filter(|&c| det[c as usize].is_none())
             .collect();

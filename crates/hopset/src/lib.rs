@@ -68,11 +68,11 @@ pub mod validate;
 pub mod virtual_bfs;
 
 pub use io::{read_hopset, write_hopset};
-pub use multi_scale::{build_hopset, BuildOptions, BuiltHopset};
+pub use multi_scale::{build_hopset, build_hopset_on, BuildOptions, BuiltHopset};
 pub use params::{DeltaSchedule, HopsetParams, ParamError, ParamMode, ScaleParams};
 pub use partition::{Cluster, ClusterMemory, Partition};
 pub use path::{MemEdge, MemoryPath};
 pub use ruling::{ruling_set, RulingTrace};
 pub use single_scale::{PhaseStats, ScaleReport};
 pub use store::{EdgeKind, Hopset, HopsetEdge};
-pub use virtual_bfs::Explorer;
+pub use virtual_bfs::{ExploreScratch, Explorer};

@@ -11,7 +11,7 @@ use crate::params::{HopsetParams, ScaleParams};
 use crate::single_scale::{build_single_scale, ScaleContext, ScaleReport};
 use crate::store::Hopset;
 use pgraph::{Graph, UnionView};
-use pram::Ledger;
+use pram::{Executor, Ledger};
 
 /// A built multi-scale hopset plus everything the experiments report.
 #[derive(Clone, Debug)]
@@ -51,12 +51,25 @@ pub struct BuildOptions {
     pub record_paths: bool,
 }
 
-/// Build the multi-scale hopset of `g` (Theorem 3.7).
+/// Build the multi-scale hopset of `g` (Theorem 3.7) on the process-default
+/// executor ([`Executor::current`]) — the compatibility entry point.
+/// Long-lived engines own an executor and call [`build_hopset_on`].
 ///
 /// Requirements (checked): `g` has minimum edge weight ≥ 1 (§1.5 — use
 /// [`Graph::scaled_to_unit_min`]) — edgeless graphs trivially return an
 /// empty hopset.
 pub fn build_hopset(g: &Graph, params: &HopsetParams, opts: BuildOptions) -> BuiltHopset {
+    build_hopset_on(&Executor::current(), g, params, opts)
+}
+
+/// Build the multi-scale hopset of `g` (Theorem 3.7) on an explicit
+/// executor: every exploration round of every scale runs on `exec`.
+pub fn build_hopset_on(
+    exec: &Executor,
+    g: &Graph,
+    params: &HopsetParams,
+    opts: BuildOptions,
+) -> BuiltHopset {
     assert_eq!(params.n, g.num_vertices(), "params built for another n");
     if let Some(mn) = g.min_weight() {
         assert!(
@@ -82,6 +95,7 @@ pub fn build_hopset(g: &Graph, params: &HopsetParams, opts: BuildOptions) -> Bui
         let view = UnionView::with_extra(g, &overlay);
         let sp = ScaleParams::derive(params, k, eps_prev);
         let ctx = ScaleContext {
+            exec,
             view: &view,
             extra_ids: &extra_ids,
             params,

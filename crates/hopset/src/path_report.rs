@@ -25,7 +25,7 @@ use crate::path::MemEdge;
 use crate::reduction::ReducedHopset;
 use crate::store::Hopset;
 use pgraph::{EdgeTag, Graph, UnionView, VId, Weight, INF};
-use pram::{bford, jump, sort as psort, Ledger};
+use pram::{bford, jump, sort as psort, Executor, Ledger};
 
 /// Composition of the working tree during peeling (experiment F11's series).
 #[derive(Clone, Copy, Debug)]
@@ -94,15 +94,21 @@ struct Ptr {
 pub fn build_spt(g: &Graph, built: &BuiltHopset, source: VId) -> SptResult {
     let overlay = built.hopset.overlay_all();
     let view = UnionView::with_extra(g, &overlay);
-    build_spt_on(&view, built, source)
+    build_spt_on(&Executor::current(), &view, built, source)
 }
 
-/// Like [`build_spt`], but over a pre-built `G ∪ H` view (whose overlay
-/// must be the hopset's [`Hopset::overlay_all`], so `EdgeTag::Extra(i)`
-/// maps to `hopset.edges[i]`). Long-lived query engines build the view
-/// once and call this per query.
-pub fn build_spt_on(view: &UnionView<'_>, built: &BuiltHopset, source: VId) -> SptResult {
-    spt_core(view, &built.hopset, source, built.params.query_hops)
+/// Like [`build_spt`], but on an explicit executor and over a pre-built
+/// `G ∪ H` view (whose overlay must be the hopset's
+/// [`Hopset::overlay_all`], so `EdgeTag::Extra(i)` maps to
+/// `hopset.edges[i]`). Long-lived query engines build the view once, own
+/// an executor, and call this per query.
+pub fn build_spt_on(
+    exec: &Executor,
+    view: &UnionView<'_>,
+    built: &BuiltHopset,
+    source: VId,
+) -> SptResult {
+    spt_core(exec, view, &built.hopset, source, built.params.query_hops)
 }
 
 /// Extract a `(1+ε)`-SPT from a *weight-reduced* path-reporting hopset
@@ -113,20 +119,28 @@ pub fn build_spt_on(view: &UnionView<'_>, built: &BuiltHopset, source: VId) -> S
 pub fn build_spt_reduced(g: &Graph, reduced: &ReducedHopset, source: VId) -> SptResult {
     let overlay = reduced.hopset.overlay_all();
     let view = UnionView::with_extra(g, &overlay);
-    build_spt_reduced_on(&view, reduced, source)
+    build_spt_reduced_on(&Executor::current(), &view, reduced, source)
 }
 
-/// Like [`build_spt_reduced`], but over a pre-built `G ∪ H` view (see
-/// [`build_spt_on`] for the overlay-index contract).
+/// Like [`build_spt_reduced`], but on an explicit executor and over a
+/// pre-built `G ∪ H` view (see [`build_spt_on`] for the overlay-index
+/// contract).
 pub fn build_spt_reduced_on(
+    exec: &Executor,
     view: &UnionView<'_>,
     reduced: &ReducedHopset,
     source: VId,
 ) -> SptResult {
-    spt_core(view, &reduced.hopset, source, reduced.query_hops)
+    spt_core(exec, view, &reduced.hopset, source, reduced.query_hops)
 }
 
-fn spt_core(view: &UnionView<'_>, hopset: &Hopset, source: VId, query_hops: usize) -> SptResult {
+fn spt_core(
+    exec: &Executor,
+    view: &UnionView<'_>,
+    hopset: &Hopset,
+    source: VId,
+    query_hops: usize,
+) -> SptResult {
     assert!(
         hopset.edges.iter().all(|e| e.path.is_some()),
         "path-reporting SPT requires a hopset built with record_paths"
@@ -140,7 +154,7 @@ fn spt_core(view: &UnionView<'_>, hopset: &Hopset, source: VId, query_hops: usiz
     let mut ledger = Ledger::new();
 
     // ---- 1. β-hop Bellman–Ford over G ∪ H (Algorithm 1, line 3).
-    let bf = bford::bellman_ford(view, &[source], query_hops, &mut ledger);
+    let bf = bford::bellman_ford(exec, view, &[source], query_hops, &mut ledger);
 
     let mut dist: Vec<Weight> = bf.dist.clone();
     let mut ptr: Vec<Option<Ptr>> = bf
@@ -167,7 +181,7 @@ fn spt_core(view: &UnionView<'_>, hopset: &Hopset, source: VId, query_hops: usiz
     scales.dedup();
     let mut peel_stats = Vec::new();
     for k in scales {
-        let stats = peel_scale(hopset, k, &mut dist, &mut ptr, &mut ledger);
+        let stats = peel_scale(exec, hopset, k, &mut dist, &mut ptr, &mut ledger);
         peel_stats.push(stats);
         debug_assert!(estimates_decrease(&dist, &ptr), "Lemma 4.1 violated");
     }
@@ -187,7 +201,8 @@ fn spt_core(view: &UnionView<'_>, hopset: &Hopset, source: VId, query_hops: usiz
             weight_arr[v] = p.weight;
         }
     }
-    let (tree_dist, root) = jump::pointer_jump_distances(&parent_arr, &weight_arr, &mut ledger);
+    let (tree_dist, root) =
+        jump::pointer_jump_distances(exec, &parent_arr, &weight_arr, &mut ledger);
     let mut final_dist = vec![INF; n];
     let mut parent: Vec<Option<(VId, Weight)>> = vec![None; n];
     for v in 0..n {
@@ -211,6 +226,7 @@ fn spt_core(view: &UnionView<'_>, hopset: &Hopset, source: VId, query_hops: usiz
 
 /// One peeling iteration (§4.1): replace tree edges of scale `k`.
 fn peel_scale(
+    exec: &Executor,
     hopset: &Hopset,
     k: u32,
     dist: &mut [Weight],
@@ -295,7 +311,7 @@ fn peel_scale(
 
     // Sort M by (vertex, estimate) and let every vertex adopt its best
     // improving entry (§4.1 sorts and binary-searches; same cost charged).
-    psort::sort_by(&mut m_array, ledger, |a, b| {
+    psort::sort_by(exec, &mut m_array, ledger, |a, b| {
         a.0.cmp(&b.0).then(a.1.cmp(&b.1))
     });
     ledger.binary_search(n as u64, m_array.len().max(1) as u64);

@@ -34,12 +34,12 @@
 //! mapped hopset edge of level `k`, which sit below level `k+1` (see
 //! [`encode_scale`]).
 
-use crate::multi_scale::{build_hopset, BuildOptions, BuiltHopset};
+use crate::multi_scale::{build_hopset_on, BuildOptions, BuiltHopset};
 use crate::params::{HopsetParams, ParamError, ParamMode};
 use crate::path::{MemEdge, MemoryPath};
 use crate::store::{EdgeKind, Hopset, HopsetEdge};
 use pgraph::{Graph, GraphBuilder, VId, Weight};
-use pram::{cc, jump, Ledger};
+use pram::{cc, jump, Executor, Ledger};
 
 /// Per-level (relevant scale) report for experiment E8.
 #[derive(Clone, Debug)]
@@ -105,6 +105,21 @@ pub fn build_reduced_hopset(
     mode: ParamMode,
     opts: BuildOptions,
 ) -> Result<ReducedHopset, ParamError> {
+    build_reduced_hopset_on(&Executor::current(), g, eps, kappa, rho, mode, opts)
+}
+
+/// Like [`build_reduced_hopset`], on an explicit executor: the
+/// components/forest/pointer-jumping substrate and every per-level hopset
+/// construction run on `exec`.
+pub fn build_reduced_hopset_on(
+    exec: &Executor,
+    g: &Graph,
+    eps: f64,
+    kappa: usize,
+    rho: f64,
+    mode: ParamMode,
+    opts: BuildOptions,
+) -> Result<ReducedHopset, ParamError> {
     let n = g.num_vertices();
     if let Some(mn) = g.min_weight() {
         assert!(mn >= 1.0 - 1e-12, "min edge weight must be >= 1");
@@ -125,7 +140,7 @@ pub fn build_reduced_hopset(
 
     for &k in &ks {
         let mut level_ledger = Ledger::new();
-        let lvl = build_level(g, k, eps_internal, prev.as_ref(), &mut level_ledger);
+        let lvl = build_level(exec, g, k, eps_internal, prev.as_ref(), &mut level_ledger);
 
         // --- star edges (with tree-path memory in path mode).
         let star_count = add_star_edges(g, &lvl, prev.as_ref(), k, opts.record_paths, &mut hopset);
@@ -134,6 +149,7 @@ pub fn build_reduced_hopset(
         // --- 𝒢_k hopset (scaled to unit min weight).
         let (mapped, beta_hops) = if lvl.gk.num_vertices() >= 2 && lvl.gk.num_edges() > 0 {
             build_and_map_level_hopset(
+                exec,
                 &lvl,
                 k,
                 eps_internal,
@@ -221,6 +237,7 @@ pub fn relevant_scales(g: &Graph, eps: f64) -> Vec<u32> {
 }
 
 fn build_level(
+    exec: &Executor,
     g: &Graph,
     k: u32,
     eps: f64,
@@ -233,7 +250,7 @@ fn build_level(
     let edges = g.edges();
 
     // Nodes = components over light edges; spanning forest for the trees.
-    let (cc_res, forest) = cc::spanning_forest(g, |e| edges[e].2 <= contract_w, ledger);
+    let (cc_res, forest) = cc::spanning_forest(exec, g, |e| edges[e].2 <= contract_w, ledger);
     let label = cc_res.label;
     // Dense node indexing, sorted by label.
     let mut labels: Vec<VId> = (0..n)
@@ -283,7 +300,8 @@ fn build_level(
     let center_of_label = |l: VId| -> VId { center[index_of_label[&l] as usize] };
     let (tree_parent, tree_weight) =
         cc::orient_forest(n, g, &forest, center_of_label, &label, ledger);
-    let (tree_dist, _roots) = jump::pointer_jump_distances(&tree_parent, &tree_weight, ledger);
+    let (tree_dist, _roots) =
+        jump::pointer_jump_distances(exec, &tree_parent, &tree_weight, ledger);
 
     // 𝒢_k edges: lightest original edge per node pair, reweighted (eq. 21).
     let mut proposals: Vec<(u32, u32, Weight, VId, VId)> = Vec::new();
@@ -404,6 +422,7 @@ fn tree_path(lvl: &LevelNodes, v: VId) -> MemoryPath {
 /// Returns (mapped edge count, query hops of the level's construction).
 #[allow(clippy::too_many_arguments)]
 fn build_and_map_level_hopset(
+    exec: &Executor,
     lvl: &LevelNodes,
     k: u32,
     eps: f64,
@@ -429,7 +448,8 @@ fn build_and_map_level_hopset(
         Ok(p) => p,
         Err(_) => return (0, 2),
     };
-    let built: BuiltHopset = build_hopset(&gk_scaled, &params, BuildOptions { record_paths });
+    let built: BuiltHopset =
+        build_hopset_on(exec, &gk_scaled, &params, BuildOptions { record_paths });
     ledger.absorb_sequential(&built.ledger);
 
     // Which 𝒢_k scales to keep: without path reporting, only the scales

@@ -16,7 +16,7 @@
 //! membership in `B0`/`B1` depends only on the bit, the whole level reduces
 //! to: sources = alive ∧ bit=0, kill every (alive ∧ bit=1) within distance 2.
 
-use crate::virtual_bfs::Explorer;
+use crate::virtual_bfs::{ExploreScratch, Explorer};
 use pram::Ledger;
 
 /// Per-level statistics for the F9 experiment (knock-out recursion trace).
@@ -47,6 +47,7 @@ pub struct LevelStat {
 pub fn ruling_set(
     ex: &Explorer<'_>,
     w_set: &[u32],
+    scratch: &mut ExploreScratch,
     ledger: &mut Ledger,
     mut trace: Option<&mut RulingTrace>,
 ) -> Vec<u32> {
@@ -79,7 +80,7 @@ pub fn ruling_set(
         }
         // One BFS to depth 2 from all B0 clusters (Corollary B.4's
         // per-level exploration; knock-outs may cross invocations).
-        let det = ex.bfs(&b0, 2, ledger);
+        let det = ex.bfs(&b0, 2, scratch, ledger);
         let before = alive.len();
         let killed: usize = b1.iter().filter(|&&c| det[c as usize].is_some()).count();
         alive.retain(|&c| {
@@ -110,12 +111,13 @@ pub fn verify_ruling(
     set: &[u32],
     w_set: &[u32],
     max_depth: usize,
+    scratch: &mut ExploreScratch,
     ledger: &mut Ledger,
 ) -> (usize, usize) {
     // Pairwise separation: BFS from each selected cluster alone.
     let mut min_sep = usize::MAX;
     for &q in set {
-        let det = ex.bfs(&[q], max_depth, ledger);
+        let det = ex.bfs(&[q], max_depth, scratch, ledger);
         for &q2 in set {
             if q2 != q {
                 if let Some(d) = &det[q2 as usize] {
@@ -125,7 +127,7 @@ pub fn verify_ruling(
         }
     }
     // Cover: one multi-source BFS from the whole set.
-    let det = ex.bfs(set, max_depth, ledger);
+    let det = ex.bfs(set, max_depth, scratch, ledger);
     let mut max_cover = 0usize;
     for &w in w_set {
         match &det[w as usize] {
@@ -143,12 +145,14 @@ mod tests {
     use pgraph::{gen, UnionView};
 
     fn explorer<'a>(
+        exec: &'a pram::Executor,
         view: &'a UnionView<'a>,
         part: &'a Partition,
         cm: &'a ClusterMemory,
         threshold: f64,
     ) -> Explorer<'a> {
         Explorer {
+            exec,
             view,
             part,
             cm,
@@ -166,12 +170,14 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(32);
         let cm = ClusterMemory::trivial(32, false);
-        let ex = explorer(&view, &part, &cm, 1.5);
+        let exec = pram::Executor::shared(2);
+        let mut scratch = ExploreScratch::new();
+        let ex = explorer(&exec, &view, &part, &cm, 1.5);
         let w: Vec<u32> = (0..32).collect();
         let mut led = Ledger::new();
-        let q = ruling_set(&ex, &w, &mut led, None);
+        let q = ruling_set(&ex, &w, &mut scratch, &mut led, None);
         assert!(!q.is_empty());
-        let (sep, cover) = verify_ruling(&ex, &q, &w, 64, &mut led);
+        let (sep, cover) = verify_ruling(&ex, &q, &w, 64, &mut scratch, &mut led);
         assert!(sep >= 3, "separation {sep} < 3");
         let bound = 2 * pgraph::ceil_log2(32) as usize;
         assert!(cover <= bound, "cover {cover} > {bound}");
@@ -183,14 +189,16 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(64);
         let cm = ClusterMemory::trivial(64, false);
-        let ex = explorer(&view, &part, &cm, 2.5);
+        let exec = pram::Executor::shared(2);
+        let mut scratch = ExploreScratch::new();
+        let ex = explorer(&exec, &view, &part, &cm, 2.5);
         let w: Vec<u32> = (0..64).step_by(2).collect();
         let mut led = Ledger::new();
         let mut trace = RulingTrace::default();
-        let q = ruling_set(&ex, &w, &mut led, Some(&mut trace));
+        let q = ruling_set(&ex, &w, &mut scratch, &mut led, Some(&mut trace));
         assert!(!q.is_empty());
         assert!(q.iter().all(|c| w.contains(c)), "Q ⊆ W");
-        let (sep, cover) = verify_ruling(&ex, &q, &w, 64, &mut led);
+        let (sep, cover) = verify_ruling(&ex, &q, &w, 64, &mut scratch, &mut led);
         assert!(sep >= 3);
         assert!(cover <= 2 * pgraph::ceil_log2(64) as usize);
         assert_eq!(trace.levels.len(), pgraph::ceil_log2(64) as usize);
@@ -206,9 +214,11 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(8);
         let cm = ClusterMemory::trivial(8, false);
-        let ex = explorer(&view, &part, &cm, 1.5);
+        let exec = pram::Executor::shared(2);
+        let mut scratch = ExploreScratch::new();
+        let ex = explorer(&exec, &view, &part, &cm, 1.5);
         let mut led = Ledger::new();
-        let q = ruling_set(&ex, &[5], &mut led, None);
+        let q = ruling_set(&ex, &[5], &mut scratch, &mut led, None);
         assert_eq!(q, vec![5]);
     }
 
@@ -218,9 +228,11 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(4);
         let cm = ClusterMemory::trivial(4, false);
-        let ex = explorer(&view, &part, &cm, 1.5);
+        let exec = pram::Executor::shared(2);
+        let mut scratch = ExploreScratch::new();
+        let ex = explorer(&exec, &view, &part, &cm, 1.5);
         let mut led = Ledger::new();
-        assert!(ruling_set(&ex, &[], &mut led, None).is_empty());
+        assert!(ruling_set(&ex, &[], &mut scratch, &mut led, None).is_empty());
     }
 
     #[test]
@@ -230,10 +242,12 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(10);
         let cm = ClusterMemory::trivial(10, false);
-        let ex = explorer(&view, &part, &cm, 5.0);
+        let exec = pram::Executor::shared(2);
+        let mut scratch = ExploreScratch::new();
+        let ex = explorer(&exec, &view, &part, &cm, 5.0);
         let w: Vec<u32> = (0..10).collect();
         let mut led = Ledger::new();
-        let q = ruling_set(&ex, &w, &mut led, None);
+        let q = ruling_set(&ex, &w, &mut scratch, &mut led, None);
         assert_eq!(q, w);
     }
 
@@ -243,9 +257,11 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(2);
         let cm = ClusterMemory::trivial(2, false);
-        let ex = explorer(&view, &part, &cm, 1.5);
+        let exec = pram::Executor::shared(2);
+        let mut scratch = ExploreScratch::new();
+        let ex = explorer(&exec, &view, &part, &cm, 1.5);
         let mut led = Ledger::new();
-        let q = ruling_set(&ex, &[0, 1], &mut led, None);
+        let q = ruling_set(&ex, &[0, 1], &mut scratch, &mut led, None);
         assert_eq!(q, vec![0]); // 1 is knocked out by 0 at the bit-0 level
     }
 
@@ -255,13 +271,16 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(48);
         let cm = ClusterMemory::trivial(48, false);
-        let ex = explorer(&view, &part, &cm, 3.0);
+        let exec = pram::Executor::shared(2);
+        let mut scratch = ExploreScratch::new();
+        let ex = explorer(&exec, &view, &part, &cm, 3.0);
         let w: Vec<u32> = (0..48).collect();
         let mut l1 = Ledger::new();
         let mut l2 = Ledger::new();
         assert_eq!(
-            ruling_set(&ex, &w, &mut l1, None),
-            ruling_set(&ex, &w, &mut l2, None)
+            ruling_set(&ex, &w, &mut scratch, &mut l1, None),
+            ruling_set(&ex, &w, &mut ExploreScratch::new(), &mut l2, None)
         );
+        assert_eq!(l1, l2);
     }
 }

@@ -33,9 +33,9 @@ use crate::partition::{Cluster, ClusterMemory, Partition};
 use crate::path::path_materialize;
 use crate::ruling::{ruling_set, RulingTrace};
 use crate::store::{EdgeKind, Hopset, HopsetEdge};
-use crate::virtual_bfs::{Detection, Explorer};
+use crate::virtual_bfs::{Detection, ExploreScratch, Explorer};
 use pgraph::{UnionView, VId, Weight};
-use pram::Ledger;
+use pram::{Executor, Ledger};
 
 /// Statistics of one phase (experiment E5/E6 fodder).
 #[derive(Clone, Debug)]
@@ -78,6 +78,8 @@ pub struct ScaleReport {
 
 /// Context for building one scale.
 pub struct ScaleContext<'a> {
+    /// The executor every exploration round of the scale runs on.
+    pub exec: &'a Executor,
     /// The exploration graph `G_{k-1} = (V, E ∪ H_{k-1})`.
     pub view: &'a UnionView<'a>,
     /// Maps overlay edge index → global hopset edge id.
@@ -103,11 +105,15 @@ pub fn build_single_scale(
     let mut phases = Vec::with_capacity(p.ell + 1);
     let edges_before = hopset.len();
     let mut violations = 0usize;
+    // One scratch serves every exploration of the scale (per-pulse label
+    // tables and changed flags are reset, not reallocated).
+    let mut scratch = ExploreScratch::new();
 
     for i in 0..=p.ell {
         let deg_i = p.degrees[i];
         let threshold = ctx.sp.thresholds[i];
         let ex = Explorer {
+            exec: ctx.exec,
             view: ctx.view,
             part: &part,
             cm: &cm,
@@ -124,7 +130,7 @@ pub fn build_single_scale(
         if i == p.ell {
             // ---- Final phase: no superclustering; everyone interconnects.
             let x = n_clusters; // |P_ℓ| parallel explorations (§2.1.2)
-            let m = ex.detect_neighbors(x, ledger);
+            let m = ex.detect_neighbors(x, &mut scratch, ledger);
             let inter = interconnect(
                 ctx,
                 hopset,
@@ -151,17 +157,17 @@ pub fn build_single_scale(
 
         // ---- 1. Detection of popular clusters (x = deg_i + 1, d = 1).
         let x = deg_i + 1;
-        let m = ex.detect_neighbors(x, ledger);
+        let m = ex.detect_neighbors(x, &mut scratch, ledger);
         let popular: Vec<u32> = (0..n_clusters as u32)
             .filter(|&c| m[c as usize].len() >= x)
             .collect();
 
         // ---- 2. Ruling set over the popular clusters.
         let mut trace = RulingTrace::default();
-        let q_set = ruling_set(&ex, &popular, ledger, Some(&mut trace));
+        let q_set = ruling_set(&ex, &popular, &mut scratch, ledger, Some(&mut trace));
 
         // ---- 3. Superclustering BFS to depth 2·log2 n from Q_i.
-        let det = ex.bfs(&q_set, p.supercluster_depth(), ledger);
+        let det = ex.bfs(&q_set, p.supercluster_depth(), &mut scratch, ledger);
 
         // Lemma 2.4: every popular cluster must be detected.
         debug_assert!(
@@ -386,7 +392,9 @@ mod tests {
         let g = gen::clique_chain(4, 8, 2.0);
         let (p, sp) = scale_setup(g.num_vertices(), ParamMode::Practical);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ctx = ScaleContext {
+            exec: &exec,
             view: &view,
             extra_ids: &[],
             params: &p,
@@ -414,7 +422,9 @@ mod tests {
         let g = gen::path(24);
         let (p, sp) = scale_setup(24, ParamMode::Practical);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ctx = ScaleContext {
+            exec: &exec,
             view: &view,
             extra_ids: &[],
             params: &p,
@@ -437,7 +447,9 @@ mod tests {
         let g = gen::gnm_connected(48, 120, 7, 1.0, 3.0);
         let (p, sp) = scale_setup(48, ParamMode::Practical);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ctx = ScaleContext {
+            exec: &exec,
             view: &view,
             extra_ids: &[],
             params: &p,
@@ -466,7 +478,9 @@ mod tests {
         let g = gen::clique_chain(3, 6, 2.0);
         let (p, sp) = scale_setup(g.num_vertices(), ParamMode::Practical);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ctx = ScaleContext {
+            exec: &exec,
             view: &view,
             extra_ids: &[],
             params: &p,
@@ -498,7 +512,9 @@ mod tests {
         let g = gen::clique_chain(3, 6, 2.0);
         let (p, sp) = scale_setup(g.num_vertices(), ParamMode::Theory);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ctx = ScaleContext {
+            exec: &exec,
             view: &view,
             extra_ids: &[],
             params: &p,
@@ -530,7 +546,9 @@ mod tests {
         let g = gen::gnm_connected(40, 100, 9, 1.0, 4.0);
         let (p, sp) = scale_setup(40, ParamMode::Practical);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ctx = ScaleContext {
+            exec: &exec,
             view: &view,
             extra_ids: &[],
             params: &p,
@@ -558,7 +576,9 @@ mod tests {
         let g = gen::clique_chain(6, 8, 2.0);
         let (p, sp) = scale_setup(g.num_vertices(), ParamMode::Practical);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ctx = ScaleContext {
+            exec: &exec,
             view: &view,
             extra_ids: &[],
             params: &p,

@@ -16,6 +16,13 @@
 //!   (Lemma A.4 / Corollary A.5) used for supercluster formation and for the
 //!   ruling-set knock-outs.
 //!
+//! Execution: the explorer carries an explicit [`Executor`] handle (the
+//! persistent pool of `pram::pool`); every propagation step is one parallel
+//! round on it. Callers also pass an [`ExploreScratch`] down with the
+//! executor: the per-pulse label table and changed-flag arrays live there
+//! and are reused across pulses, ruling-set levels, and phases instead of
+//! being reallocated every pulse (a construction runs thousands of them).
+//!
 //! Determinism: every per-vertex/per-cluster reduction uses the total order
 //! of Algorithm 3 (see [`crate::label::reduce_labels`]); propagation is
 //! double-buffered (reads see only the previous step — the CREW discipline
@@ -33,10 +40,48 @@ use crate::label::{labels_equal, reduce_labels, Label};
 use crate::partition::{ClusterMemory, Partition};
 use crate::path::{path_extend, path_splice, path_start, MemEdge, PathHandle};
 use pgraph::{EdgeTag, UnionView, VId, Weight};
-use pram::{prim, Ledger};
+use pram::{prim, Executor, Ledger};
+
+/// Caller-owned scratch for the exploration engine: the per-pulse label
+/// table and the double-buffered changed flags. One instance serves any
+/// number of [`Explorer::detect_neighbors`] / [`Explorer::bfs`] calls (on
+/// graphs of any size — buffers are resized on demand and retain their
+/// allocations), so the hot construction loop allocates these once per
+/// scale instead of once per pulse.
+#[derive(Default)]
+pub struct ExploreScratch {
+    /// `labels[v]`: up to `x` records sorted by `(dist, src)`.
+    labels: Vec<Vec<Label>>,
+    /// Vertices whose label list changed in the previous step.
+    changed: Vec<bool>,
+    /// Write buffer for the current step's changed flags.
+    next_changed: Vec<bool>,
+}
+
+impl ExploreScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear to the all-empty state for `n` vertices, keeping allocations.
+    fn reset(&mut self, n: usize) {
+        self.labels.truncate(n);
+        for l in &mut self.labels {
+            l.clear();
+        }
+        self.labels.resize_with(n, Vec::new);
+        self.changed.clear();
+        self.changed.resize(n, false);
+        self.next_changed.clear();
+        self.next_changed.resize(n, false);
+    }
+}
 
 /// A configured exploration engine for one phase of one scale.
 pub struct Explorer<'a> {
+    /// The executor the propagation rounds run on.
+    pub exec: &'a Executor,
     /// The exploration graph `G_{k-1}`.
     pub view: &'a UnionView<'a>,
     /// The clusters `P_i`.
@@ -135,20 +180,29 @@ impl<'a> Explorer<'a> {
         }
     }
 
-    /// Propagate vertex labels to a fixpoint (≤ `hop_limit` steps).
-    /// `labels[v]` holds up to `x` records sorted by `(dist, src)`.
-    fn propagate(&self, labels: &mut Vec<Vec<Label>>, x: usize, ledger: &mut Ledger) {
+    /// Propagate `scratch.labels` to a fixpoint (≤ `hop_limit` steps),
+    /// each step one parallel round on `self.exec`. The changed-flag
+    /// double buffer lives in the scratch too — no per-step allocation.
+    fn propagate(&self, scratch: &mut ExploreScratch, x: usize, ledger: &mut Ledger) {
         let n = self.view.num_vertices();
-        let mut changed: Vec<bool> = labels.iter().map(|l| !l.is_empty()).collect();
+        let ExploreScratch {
+            labels,
+            changed,
+            next_changed,
+        } = scratch;
+        debug_assert_eq!(labels.len(), n);
+        for (c, l) in changed.iter_mut().zip(labels.iter()) {
+            *c = !l.is_empty();
+        }
         for _step in 0..self.hop_limit {
             if !changed.iter().any(|&c| c) {
                 break;
             }
             self.charge_step(x, ledger);
             let prev = &*labels;
-            let prev_changed = &changed;
+            let prev_changed = &*changed;
             // Recompute v iff some neighbor changed last step.
-            let next: Vec<Option<Vec<Label>>> = prim::par_map_range(n, |v| {
+            let next: Vec<Option<Vec<Label>>> = prim::par_map_range(self.exec, n, |v| {
                 let vid = v as VId;
                 let mut any = false;
                 self.view.for_each_neighbor(vid, |u, _, _| {
@@ -183,16 +237,18 @@ impl<'a> Explorer<'a> {
                 });
                 Some(reduce_labels(cands, x))
             });
-            let mut new_changed = vec![false; n];
+            for b in next_changed.iter_mut() {
+                *b = false;
+            }
             for (v, slot) in next.into_iter().enumerate() {
                 if let Some(list) = slot {
                     if !labels_equal(&list, &labels[v]) {
-                        new_changed[v] = true;
+                        next_changed[v] = true;
                         labels[v] = list;
                     }
                 }
             }
-            changed = new_changed;
+            std::mem::swap(changed, next_changed);
         }
     }
 
@@ -204,22 +260,28 @@ impl<'a> Explorer<'a> {
     ///   `x = deg_i + 1`).
     /// * Otherwise `m(C)` lists *all* neighbors of `C` with their
     ///   `d^{(2β+1)}`-distances.
-    pub fn detect_neighbors(&self, x: usize, ledger: &mut Ledger) -> Vec<Vec<Label>> {
+    pub fn detect_neighbors(
+        &self,
+        x: usize,
+        scratch: &mut ExploreScratch,
+        ledger: &mut Ledger,
+    ) -> Vec<Vec<Label>> {
         let n = self.view.num_vertices();
-        let mut labels: Vec<Vec<Label>> = vec![Vec::new(); n];
+        scratch.reset(n);
         // Distribution: every member of every cluster seeds its own record.
         ledger.step(n as u64 * x as u64);
         for cl in self.part.clusters.iter() {
             for &v in &cl.members {
                 let l = self.seed_member(v, cl.center, 0.0, 0.0, None);
-                labels[v as usize].push(l);
+                scratch.labels[v as usize].push(l);
             }
         }
-        self.propagate(&mut labels, x, ledger);
+        self.propagate(scratch, x, ledger);
         // Aggregation: fold member labels into m(C).
         ledger.sort(n as u64 * x as u64);
         let part = self.part;
-        prim::par_map(&part.clusters, |cl| {
+        let labels = &scratch.labels;
+        prim::par_map(self.exec, &part.clusters, |cl| {
             let mut cands: Vec<Label> = Vec::new();
             for &v in &cl.members {
                 for l in &labels[v as usize] {
@@ -235,11 +297,12 @@ impl<'a> Explorer<'a> {
     /// cluster of `P_i`, the detection record (sources detect themselves at
     /// pulse 0). Each pulse re-seeds from every detected cluster with a
     /// fresh hop/distance budget, exactly matching the pulse semantics of
-    /// Appendix A.2.
+    /// Appendix A.2; the label table is reset (not reallocated) per pulse.
     pub fn bfs(
         &self,
         sources: &[u32],
         pulses: usize,
+        scratch: &mut ExploreScratch,
         ledger: &mut Ledger,
     ) -> Vec<Option<Detection>> {
         let n = self.view.num_vertices();
@@ -258,21 +321,22 @@ impl<'a> Explorer<'a> {
         for pulse in 1..=pulses {
             // Distribute: members of every detected cluster carry the
             // origin's identity onward with a fresh per-pulse budget.
-            let mut labels: Vec<Vec<Label>> = vec![Vec::new(); n];
+            scratch.reset(n);
             ledger.step(n as u64);
             for (ci, cl) in self.part.clusters.iter().enumerate() {
                 let Some(d) = &det[ci] else { continue };
                 for &v in &cl.members {
                     let l = self.seed_member(v, d.src_center, 0.0, d.pw, d.path.as_ref());
-                    labels[v as usize].push(l);
+                    scratch.labels[v as usize].push(l);
                 }
             }
-            self.propagate(&mut labels, 1, ledger);
+            self.propagate(scratch, 1, ledger);
             // Aggregate: undetected clusters reached this pulse are detected
             // by the best record (min by (dist, src) — deterministic).
             ledger.sort(n as u64);
             let mut newly = 0usize;
-            let updates: Vec<Option<Detection>> = prim::par_map_range(nc, |ci| {
+            let labels = &scratch.labels;
+            let updates: Vec<Option<Detection>> = prim::par_map_range(self.exec, nc, |ci| {
                 if det[ci].is_some() {
                     return None;
                 }
@@ -333,13 +397,19 @@ mod tests {
         (view, part, cm)
     }
 
+    fn exec() -> Executor {
+        Executor::shared(2)
+    }
+
     #[test]
     fn detect_neighbors_on_path() {
         // Path 0-1-2-3-4, unit weights, threshold 1.5: neighbors are exactly
         // the adjacent vertices.
         let g = gen::path(5);
         let (view, part, cm) = exploration_setup(&g);
+        let exec = exec();
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -349,7 +419,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let m = ex.detect_neighbors(10, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let m = ex.detect_neighbors(10, &mut scratch, &mut led);
         // Vertex 0: itself + neighbor 1.
         let srcs0: Vec<VId> = m[0].iter().map(|l| l.src).collect();
         assert_eq!(srcs0, vec![0, 1]);
@@ -364,8 +435,10 @@ mod tests {
     fn threshold_and_hops_bound_reach() {
         let g = gen::path(6);
         let (view, part, cm) = exploration_setup(&g);
+        let exec = exec();
         // Distance threshold 10 but only 2 hops: reach 2 vertices away.
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -375,7 +448,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let m = ex.detect_neighbors(10, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let m = ex.detect_neighbors(10, &mut scratch, &mut led);
         let srcs0: Vec<VId> = m[0].iter().map(|l| l.src).collect();
         assert_eq!(srcs0, vec![0, 1, 2]);
     }
@@ -384,7 +458,9 @@ mod tests {
     fn x_truncates_to_nearest() {
         let g = gen::star(6); // center 0
         let (view, part, cm) = exploration_setup(&g);
+        let exec = exec();
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -394,7 +470,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let m = ex.detect_neighbors(3, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let m = ex.detect_neighbors(3, &mut scratch, &mut led);
         // Leaf 1 sees itself (0), center (1.0), then the other leaves (2.0):
         // with x = 3 keep self, center, and the smallest-id leaf.
         let l1: Vec<(VId, Weight)> = m[1].iter().map(|l| (l.src, l.dist)).collect();
@@ -406,7 +483,9 @@ mod tests {
         // Path with unit weights; threshold 1.5 makes G̃ the same path.
         let g = gen::path(6);
         let (view, part, cm) = exploration_setup(&g);
+        let exec = exec();
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -416,7 +495,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let det = ex.bfs(&[0], 3, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let det = ex.bfs(&[0], 3, &mut scratch, &mut led);
         let pulses: Vec<Option<usize>> = det.iter().map(|d| d.as_ref().map(|x| x.pulse)).collect();
         assert_eq!(pulses, vec![Some(0), Some(1), Some(2), Some(3), None, None]);
         assert!(det.iter().flatten().all(|d| d.src_center == 0));
@@ -426,7 +506,9 @@ mod tests {
     fn bfs_multi_source_takes_nearest_origin() {
         let g = gen::path(7);
         let (view, part, cm) = exploration_setup(&g);
+        let exec = exec();
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -436,7 +518,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let det = ex.bfs(&[0, 6], 10, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let det = ex.bfs(&[0, 6], 10, &mut scratch, &mut led);
         assert_eq!(det[2].as_ref().unwrap().src_center, 0);
         assert_eq!(det[4].as_ref().unwrap().src_center, 6);
         // Midpoint 3: equal pulse from both sides → smaller center id wins.
@@ -447,7 +530,9 @@ mod tests {
     fn bfs_early_exits_when_saturated() {
         let g = Graph::from_edges(4, [(0, 1, 1.0)]).unwrap(); // 2,3 isolated
         let (view, part, cm) = exploration_setup(&g);
+        let exec = exec();
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -457,7 +542,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let det = ex.bfs(&[0], 1000, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let det = ex.bfs(&[0], 1000, &mut scratch, &mut led);
         assert!(det[1].is_some());
         assert!(det[2].is_none());
         assert!(det[3].is_none());
@@ -469,7 +555,9 @@ mod tests {
         let view = UnionView::base_only(&g);
         let part = Partition::singletons(5);
         let cm = ClusterMemory::trivial(5, true);
+        let exec = exec();
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -479,7 +567,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let m = ex.detect_neighbors(10, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let m = ex.detect_neighbors(10, &mut scratch, &mut led);
         // Record for source 3 at cluster 0 must carry a real 3→0 path.
         let rec = m[0].iter().find(|l| l.src == 3).expect("3 within 3.5");
         assert_eq!(rec.dist, 3.0);
@@ -510,7 +599,9 @@ mod tests {
         };
         assert!(part.validate(5));
         let cm = ClusterMemory::trivial(5, false);
+        let exec = exec();
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -520,7 +611,8 @@ mod tests {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let m = ex.detect_neighbors(5, &mut led);
+        let mut scratch = ExploreScratch::new();
+        let m = ex.detect_neighbors(5, &mut scratch, &mut led);
         // m for cluster 0 sees cluster 4 at distance 2 (via members 1 and 3).
         let rec = m[0].iter().find(|l| l.src == 4).expect("cluster neighbor");
         assert_eq!(rec.dist, 2.0);
@@ -529,29 +621,80 @@ mod tests {
     #[test]
     fn determinism_across_thread_counts() {
         // The engine's reductions are order-independent, so full label
-        // tables must be identical whatever the pool's thread count — here
-        // actually varied via `pram::pool::with_threads` (not just run
-        // twice at one count).
+        // tables must be identical whatever the executor's thread count —
+        // here actually varied by constructing explorers over executors of
+        // different sizes (not just run twice at one count).
         let g = gen::gnm_connected(60, 150, 2, 1.0, 3.0);
         let (view, part, cm) = exploration_setup(&g);
-        let ex = Explorer {
-            view: &view,
-            part: &part,
-            cm: &cm,
-            threshold: 4.0,
-            hop_limit: 10,
-            record_paths: false,
-            extra_ids: &[],
-        };
-        let mut l1 = Ledger::new();
-        let a = pram::pool::with_threads(1, || ex.detect_neighbors(4, &mut l1));
-        for threads in [2usize, 4, 8] {
+        let run = |threads: usize| {
+            let exec = Executor::shared(threads);
+            let ex = Explorer {
+                exec: &exec,
+                view: &view,
+                part: &part,
+                cm: &cm,
+                threshold: 4.0,
+                hop_limit: 10,
+                record_paths: false,
+                extra_ids: &[],
+            };
             let mut l = Ledger::new();
-            let b = pram::pool::with_threads(threads, || ex.detect_neighbors(4, &mut l));
+            let mut scratch = ExploreScratch::new();
+            (ex.detect_neighbors(4, &mut scratch, &mut l), l)
+        };
+        let (a, l1) = run(1);
+        for threads in [2usize, 4, 8] {
+            let (b, l) = run(threads);
             for (x, y) in a.iter().zip(&b) {
                 assert!(labels_equal(x, y), "threads={threads}");
             }
             assert_eq!(l, l1);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_observably_identical() {
+        // One scratch carried across calls (the hot-loop pattern) must give
+        // the same answers as a fresh scratch per call.
+        let g = gen::gnm_connected(40, 100, 5, 1.0, 3.0);
+        let (view, part, cm) = exploration_setup(&g);
+        let exec = exec();
+        let ex = Explorer {
+            exec: &exec,
+            view: &view,
+            part: &part,
+            cm: &cm,
+            threshold: 3.0,
+            hop_limit: 8,
+            record_paths: false,
+            extra_ids: &[],
+        };
+        let mut reused = ExploreScratch::new();
+        for x in [2usize, 5, 3] {
+            let mut l1 = Ledger::new();
+            let mut l2 = Ledger::new();
+            let with_reuse = ex.detect_neighbors(x, &mut reused, &mut l1);
+            let fresh = ex.detect_neighbors(x, &mut ExploreScratch::new(), &mut l2);
+            for (a, b) in with_reuse.iter().zip(&fresh) {
+                assert!(labels_equal(a, b), "x={x}");
+            }
+            assert_eq!(l1, l2, "x={x}");
+            // And the BFS variant, interleaved on the same scratch.
+            let mut l3 = Ledger::new();
+            let mut l4 = Ledger::new();
+            let d1 = ex.bfs(&[0, 7], 4, &mut reused, &mut l3);
+            let d2 = ex.bfs(&[0, 7], 4, &mut ExploreScratch::new(), &mut l4);
+            for (a, b) in d1.iter().zip(&d2) {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.src_cluster, x.pulse), (y.src_cluster, y.pulse));
+                        assert_eq!(x.pw.to_bits(), y.pw.to_bits());
+                    }
+                    _ => panic!("detection presence mismatch"),
+                }
+            }
+            assert_eq!(l3, l4);
         }
     }
 

@@ -1,13 +1,13 @@
 //! Oracle tests: the exploration engine (Algorithm 2) against brute-force
 //! references, plus Theory-mode and schedule-ablation coverage.
 
-use hopset::virtual_bfs::Explorer;
+use hopset::virtual_bfs::{ExploreScratch, Explorer};
 use hopset::{
     build_hopset, BuildOptions, ClusterMemory, DeltaSchedule, HopsetParams, ParamMode, Partition,
 };
 use pgraph::exact::bellman_ford_hops;
 use pgraph::{gen, Graph, UnionView, VId, Weight, INF};
-use pram::Ledger;
+use pram::{Executor, Ledger};
 use proptest::prelude::*;
 
 /// Brute-force cluster-to-cluster hop/threshold-bounded distance: the min
@@ -82,7 +82,9 @@ proptest! {
         let cm = ClusterMemory::trivial(n, false);
         let view = UnionView::base_only(&g);
         let hops = n; // unbounded (cap at n): oracle uses the same
+        let exec = Executor::shared(2);
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -93,7 +95,7 @@ proptest! {
         };
         let mut led = Ledger::new();
         let x = part.len() + 1; // no truncation
-        let m = ex.detect_neighbors(x, &mut led);
+        let m = ex.detect_neighbors(x, &mut ExploreScratch::new(), &mut led);
         for a in 0..part.len() as u32 {
             for b in 0..part.len() as u32 {
                 if a == b { continue; }
@@ -130,7 +132,9 @@ proptest! {
         let part = make_partition(n, nclusters, seed ^ 0x1234);
         let cm = ClusterMemory::trivial(n, false);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -162,7 +166,7 @@ proptest! {
             }
         }
         let mut led = Ledger::new();
-        let det = ex.bfs(&[0], nc + 2, &mut led);
+        let det = ex.bfs(&[0], nc + 2, &mut ExploreScratch::new(), &mut led);
         for c in 0..nc {
             match (&det[c], ref_dist[c]) {
                 (None, usize::MAX) => {}
@@ -184,7 +188,9 @@ proptest! {
         let part = make_partition(n, nclusters, seed);
         let cm = ClusterMemory::trivial(n, false);
         let view = UnionView::base_only(&g);
+        let exec = Executor::shared(2);
         let ex = Explorer {
+            exec: &exec,
             view: &view,
             part: &part,
             cm: &cm,
@@ -194,7 +200,7 @@ proptest! {
             extra_ids: &[],
         };
         let mut led = Ledger::new();
-        let m = ex.detect_neighbors(part.len() + 1, &mut led);
+        let m = ex.detect_neighbors(part.len() + 1, &mut ExploreScratch::new(), &mut led);
         for (ci, recs) in m.iter().enumerate() {
             for l in recs {
                 // pw is always a realized path weight, never below dist.
@@ -277,7 +283,9 @@ fn explorer_over_union_views_uses_hopset_edges() {
     let view = UnionView::with_extra(&g, &overlay);
     let part = Partition::singletons(40);
     let cm = ClusterMemory::trivial(40, false);
+    let exec = Executor::shared(2);
     let ex = Explorer {
+        exec: &exec,
         view: &view,
         part: &part,
         cm: &cm,
@@ -287,7 +295,7 @@ fn explorer_over_union_views_uses_hopset_edges() {
         extra_ids: &[7],
     };
     let mut led = Ledger::new();
-    let m = ex.detect_neighbors(50, &mut led);
+    let m = ex.detect_neighbors(50, &mut ExploreScratch::new(), &mut led);
     let rec = m[39]
         .iter()
         .find(|l| l.src == 0)

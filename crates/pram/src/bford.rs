@@ -15,6 +15,7 @@
 //! * *double buffering*: reads go to the previous round's array, exactly
 //!   like the PRAM's odd/even read/write rounds (§1.5.1).
 
+use crate::pool::Executor;
 use crate::{prim, Ledger};
 use pgraph::{EdgeTag, UnionView, VId, Weight, INF};
 
@@ -64,11 +65,13 @@ impl BellmanFordResult {
 
 /// Run a hop-limited multi-source Bellman–Ford exploration.
 ///
+/// * `exec` — the pool the per-round relaxations run on;
 /// * `view` — the graph `G ∪ H` (overlay = hopset);
 /// * `sources` — the set `S` (Theorem 3.8's aMSSD sources);
 /// * `max_hops` — the hop budget `β`;
 /// * `ledger` — charged one step of `O(|E∪H| + n)` work per round.
 pub fn bellman_ford(
+    exec: &Executor,
     view: &UnionView<'_>,
     sources: &[VId],
     max_hops: usize,
@@ -89,7 +92,7 @@ pub fn bellman_ford(
         // Each vertex pulls the best (distance, parent) over its neighbors,
         // reading only the previous round's distances.
         let prev = &dist;
-        let updates: Vec<Option<(Weight, ParentEdge)>> = prim::par_map_range(n, |v| {
+        let updates: Vec<Option<(Weight, ParentEdge)>> = prim::par_map_range(exec, n, |v| {
             let vid = v as VId;
             let mut best: Option<(Weight, ParentEdge)> = None;
             view.for_each_neighbor(vid, |u, w, tag| {
@@ -168,6 +171,10 @@ mod tests {
     use pgraph::gen;
     use pgraph::Graph;
 
+    fn exec() -> Executor {
+        Executor::shared(2)
+    }
+
     #[test]
     fn hop_limit_respected() {
         // square: 0-1-2-3 light path, 0-3 heavy chord
@@ -175,9 +182,9 @@ mod tests {
             Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)]).unwrap();
         let view = UnionView::base_only(&g);
         let mut l = Ledger::new();
-        let r1 = bellman_ford(&view, &[0], 1, &mut l);
+        let r1 = bellman_ford(&exec(), &view, &[0], 1, &mut l);
         assert_eq!(r1.dist[3], 10.0);
-        let r3 = bellman_ford(&view, &[0], 3, &mut l);
+        let r3 = bellman_ford(&exec(), &view, &[0], 3, &mut l);
         assert_eq!(r3.dist[3], 3.0);
         assert_eq!(r3.hops_to(3), Some(3));
     }
@@ -188,7 +195,7 @@ mod tests {
         let view = UnionView::base_only(&g);
         for hops in [1, 2, 5, 100] {
             let mut l = Ledger::new();
-            let par = bellman_ford(&view, &[0], hops, &mut l);
+            let par = bellman_ford(&exec(), &view, &[0], hops, &mut l);
             let seq = exact::bellman_ford_hops(&view, &[0], hops);
             assert_eq!(par.dist, seq, "hops={hops}");
         }
@@ -199,7 +206,7 @@ mod tests {
         let g = gen::path(9);
         let view = UnionView::base_only(&g);
         let mut l = Ledger::new();
-        let r = bellman_ford(&view, &[0, 8], 10, &mut l);
+        let r = bellman_ford(&exec(), &view, &[0, 8], 10, &mut l);
         assert_eq!(r.dist[4], 4.0);
         assert_eq!(r.dist[6], 2.0);
     }
@@ -209,7 +216,7 @@ mod tests {
         let g = gen::path(5);
         let view = UnionView::base_only(&g);
         let mut l = Ledger::new();
-        let r = bellman_ford(&view, &[0], 100, &mut l);
+        let r = bellman_ford(&exec(), &view, &[0], 100, &mut l);
         // path of 4 edges converges after round 5 sees no change
         assert_eq!(r.converged_at, Some(5));
         assert_eq!(r.rounds_run, 5);
@@ -221,7 +228,7 @@ mod tests {
         let extra = vec![(0u32, 4u32, 1.5)];
         let view = UnionView::with_extra(&g, &extra);
         let mut l = Ledger::new();
-        let r = bellman_ford(&view, &[0], 2, &mut l);
+        let r = bellman_ford(&exec(), &view, &[0], 2, &mut l);
         assert_eq!(r.dist[4], 1.5);
         let pe = r.parent[4].unwrap();
         assert_eq!(pe.tag, EdgeTag::Extra(0));
@@ -233,7 +240,7 @@ mod tests {
         let g = gen::gnm_connected(80, 240, 4, 1.0, 4.0);
         let view = UnionView::base_only(&g);
         let mut l = Ledger::new();
-        let r = bellman_ford(&view, &[7], 80, &mut l);
+        let r = bellman_ford(&exec(), &view, &[7], 80, &mut l);
         for v in 0..80u32 {
             if v == 7 {
                 assert!(r.parent[v as usize].is_none());
@@ -251,7 +258,7 @@ mod tests {
         let g = gen::path(4);
         let view = UnionView::base_only(&g);
         let mut l = Ledger::new();
-        let r = bellman_ford(&view, &[0], 2, &mut l);
+        let r = bellman_ford(&exec(), &view, &[0], 2, &mut l);
         assert_eq!(r.rounds_run, 2);
         assert_eq!(l.depth(), 2);
         assert_eq!(l.work(), 2 * (2 * 3 + 4));
@@ -262,7 +269,7 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1, 1.0)]).unwrap();
         let view = UnionView::base_only(&g);
         let mut l = Ledger::new();
-        let r = bellman_ford(&view, &[0], 10, &mut l);
+        let r = bellman_ford(&exec(), &view, &[0], 10, &mut l);
         assert_eq!(r.dist[2], INF);
         assert_eq!(r.hops_to(2), None);
     }

@@ -12,6 +12,7 @@
 //! round count is logarithmic in practice (each surviving component absorbs
 //! at least one neighbor per round).
 
+use crate::pool::Executor;
 use crate::{prim, Ledger};
 use pgraph::{Graph, VId};
 
@@ -58,31 +59,34 @@ impl CcResult {
 /// whose index satisfies `edge_filter`. Passing `|_| true` uses the whole
 /// graph. The filter is how Appendix C selects "edges of weight ≤ (ε/n)·2^k".
 pub fn connected_components_filtered(
+    exec: &Executor,
     g: &Graph,
     edge_filter: impl Fn(usize) -> bool + Sync,
     ledger: &mut Ledger,
 ) -> CcResult {
-    let (res, _forest) = cc_with_forest(g, edge_filter, ledger);
+    let (res, _forest) = cc_with_forest(exec, g, edge_filter, ledger);
     res
 }
 
 /// Connected components of the whole graph.
-pub fn connected_components(g: &Graph, ledger: &mut Ledger) -> CcResult {
-    connected_components_filtered(g, |_| true, ledger)
+pub fn connected_components(exec: &Executor, g: &Graph, ledger: &mut Ledger) -> CcResult {
+    connected_components_filtered(exec, g, |_| true, ledger)
 }
 
 /// Connected components *and* a spanning forest (edge indices into
 /// `g.edges()`) of the filtered subgraph. Every component of size `s`
 /// contributes exactly `s − 1` forest edges.
 pub fn spanning_forest(
+    exec: &Executor,
     g: &Graph,
     edge_filter: impl Fn(usize) -> bool + Sync,
     ledger: &mut Ledger,
 ) -> (CcResult, Vec<usize>) {
-    cc_with_forest(g, edge_filter, ledger)
+    cc_with_forest(exec, g, edge_filter, ledger)
 }
 
 fn cc_with_forest(
+    exec: &Executor,
     g: &Graph,
     edge_filter: impl Fn(usize) -> bool + Sync,
     ledger: &mut Ledger,
@@ -145,7 +149,7 @@ fn cc_with_forest(
         // --- Compress: full pointer jumping (reads previous array only).
         loop {
             ledger.step(n as u64);
-            let next: Vec<VId> = prim::par_map_range(n, |v| label[label[v] as usize]);
+            let next: Vec<VId> = prim::par_map_range(exec, n, |v| label[label[v] as usize]);
             let stable = next == label;
             label = next;
             if stable {
@@ -240,11 +244,15 @@ mod tests {
     use super::*;
     use pgraph::gen;
 
+    fn exec() -> Executor {
+        Executor::shared(2)
+    }
+
     #[test]
     fn single_component_path() {
         let g = gen::path(10);
         let mut l = Ledger::new();
-        let cc = connected_components(&g, &mut l);
+        let cc = connected_components(&exec(), &g, &mut l);
         assert_eq!(cc.count, 1);
         assert!(cc.label.iter().all(|&x| x == 0));
     }
@@ -253,7 +261,7 @@ mod tests {
     fn disconnected_components() {
         let g = Graph::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (4, 5, 1.0)]).unwrap();
         let mut l = Ledger::new();
-        let cc = connected_components(&g, &mut l);
+        let cc = connected_components(&exec(), &g, &mut l);
         assert_eq!(cc.count, 3); // {0,1,2}, {3}, {4,5}
         assert!(cc.same(0, 2));
         assert!(!cc.same(2, 3));
@@ -272,7 +280,7 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 10.0), (2, 3, 1.0)]).unwrap();
         let edges = g.edges().to_vec();
         let mut l = Ledger::new();
-        let cc = connected_components_filtered(&g, |e| edges[e].2 < 5.0, &mut l);
+        let cc = connected_components_filtered(&exec(), &g, |e| edges[e].2 < 5.0, &mut l);
         assert_eq!(cc.count, 2);
         assert!(cc.same(0, 1));
         assert!(cc.same(2, 3));
@@ -283,13 +291,13 @@ mod tests {
     fn forest_has_right_size_and_spans() {
         let g = gen::gnm_connected(200, 500, 17, 1.0, 2.0);
         let mut l = Ledger::new();
-        let (cc, forest) = spanning_forest(&g, |_| true, &mut l);
+        let (cc, forest) = spanning_forest(&exec(), &g, |_| true, &mut l);
         assert_eq!(cc.count, 1);
         assert_eq!(forest.len(), 199);
         // Forest edges must connect the graph: run CC over forest edges only.
         let forest_set: std::collections::HashSet<usize> = forest.iter().copied().collect();
         let mut l2 = Ledger::new();
-        let cc2 = connected_components_filtered(&g, |e| forest_set.contains(&e), &mut l2);
+        let cc2 = connected_components_filtered(&exec(), &g, |e| forest_set.contains(&e), &mut l2);
         assert_eq!(cc2.count, 1);
     }
 
@@ -308,7 +316,7 @@ mod tests {
         )
         .unwrap();
         let mut l = Ledger::new();
-        let (cc, forest) = spanning_forest(&g, |_| true, &mut l);
+        let (cc, forest) = spanning_forest(&exec(), &g, |_| true, &mut l);
         assert_eq!(cc.count, 3); // two triangles + isolated 3
         assert_eq!(forest.len(), 4);
     }
@@ -318,8 +326,8 @@ mod tests {
         let g = gen::gnm(300, 900, 5, 1.0, 3.0);
         let mut l1 = Ledger::new();
         let mut l2 = Ledger::new();
-        let (a, fa) = spanning_forest(&g, |_| true, &mut l1);
-        let (b, fb) = spanning_forest(&g, |_| true, &mut l2);
+        let (a, fa) = spanning_forest(&exec(), &g, |_| true, &mut l1);
+        let (b, fb) = spanning_forest(&exec(), &g, |_| true, &mut l2);
         assert_eq!(a.label, b.label);
         assert_eq!(fa, fb);
         assert_eq!(l1, l2);
@@ -331,12 +339,10 @@ mod tests {
         // really fan out on the pool.
         let g = gen::gnm(6000, 12_000, 5, 1.0, 3.0);
         let mut l1 = Ledger::new();
-        let (base, base_forest) =
-            crate::pool::with_threads(1, || spanning_forest(&g, |_| true, &mut l1));
+        let (base, base_forest) = spanning_forest(&Executor::sequential(), &g, |_| true, &mut l1);
         for threads in [2usize, 4, 8] {
             let mut l = Ledger::new();
-            let (got, forest) =
-                crate::pool::with_threads(threads, || spanning_forest(&g, |_| true, &mut l));
+            let (got, forest) = spanning_forest(&Executor::shared(threads), &g, |_| true, &mut l);
             assert_eq!(got.label, base.label, "threads={threads}");
             assert_eq!(got.rounds, base.rounds);
             assert_eq!(forest, base_forest);
@@ -348,7 +354,7 @@ mod tests {
     fn orient_forest_parents() {
         let g = Graph::from_edges(5, [(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)]).unwrap();
         let mut l = Ledger::new();
-        let (cc, forest) = spanning_forest(&g, |_| true, &mut l);
+        let (cc, forest) = spanning_forest(&exec(), &g, |_| true, &mut l);
         // Root component {0,1,2} at 2; component {3,4} at 3.
         let (parent, pw) = orient_forest(
             5,
@@ -372,7 +378,7 @@ mod tests {
     fn label_is_component_minimum() {
         let g = gen::gnm(128, 200, 33, 1.0, 2.0);
         let mut l = Ledger::new();
-        let cc = connected_components(&g, &mut l);
+        let cc = connected_components(&exec(), &g, &mut l);
         // Reference: simple DFS union.
         let mut ref_label: Vec<VId> = (0..128).collect();
         let mut stack = Vec::new();

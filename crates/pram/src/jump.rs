@@ -7,6 +7,7 @@
 //! `d'(v) += d'(q(v)); q(v) = q(q(v))`. Appendix C.4 reuses the same device
 //! to locate node centers in the laminar "nodes forest".
 
+use crate::pool::Executor;
 use crate::{prim, Ledger};
 use pgraph::{VId, Weight};
 
@@ -19,6 +20,7 @@ use pgraph::{VId, Weight};
 /// work. Panics (debug) if `parent` contains a cycle other than self loops
 /// at roots — callers establish acyclicity (Lemma 4.1).
 pub fn pointer_jump_distances(
+    exec: &Executor,
     parent: &[VId],
     edge_weight: &[Weight],
     ledger: &mut Ledger,
@@ -34,8 +36,8 @@ pub fn pointer_jump_distances(
     for _ in 0..rounds {
         ledger.step(n as u64);
         // Double-buffered: reads see the previous round only (CREW style).
-        let nd: Vec<Weight> = prim::par_map_range(n, |v| d[v] + d[q[v] as usize]);
-        let nq: Vec<VId> = prim::par_map_range(n, |v| q[q[v] as usize]);
+        let nd: Vec<Weight> = prim::par_map_range(exec, n, |v| d[v] + d[q[v] as usize]);
+        let nq: Vec<VId> = prim::par_map_range(exec, n, |v| q[q[v] as usize]);
         d = nd;
         q = nq;
     }
@@ -48,7 +50,7 @@ pub fn pointer_jump_distances(
 
 /// Pointer jumping on pointers alone: returns the root of every vertex.
 /// Used by Appendix C.4's node-center selection over the nodes forest G¯.
-pub fn pointer_jump_roots(parent: &[VId], ledger: &mut Ledger) -> Vec<VId> {
+pub fn pointer_jump_roots(exec: &Executor, parent: &[VId], ledger: &mut Ledger) -> Vec<VId> {
     let n = parent.len();
     if n == 0 {
         return Vec::new();
@@ -57,7 +59,7 @@ pub fn pointer_jump_roots(parent: &[VId], ledger: &mut Ledger) -> Vec<VId> {
     let rounds = pgraph::ceil_log2(n.max(2)) as usize + 1;
     for _ in 0..rounds {
         ledger.step(n as u64);
-        q = prim::par_map_range(n, |v| q[q[v] as usize]);
+        q = prim::par_map_range(exec, n, |v| q[q[v] as usize]);
     }
     q
 }
@@ -66,13 +68,17 @@ pub fn pointer_jump_roots(parent: &[VId], ledger: &mut Ledger) -> Vec<VId> {
 mod tests {
     use super::*;
 
+    fn exec() -> Executor {
+        Executor::shared(2)
+    }
+
     #[test]
     fn single_path() {
         // 0 <- 1 <- 2 <- 3 with weights 1, 2, 3.
         let parent = vec![0, 0, 1, 2];
         let w = vec![0.0, 1.0, 2.0, 3.0];
         let mut l = Ledger::new();
-        let (d, r) = pointer_jump_distances(&parent, &w, &mut l);
+        let (d, r) = pointer_jump_distances(&exec(), &parent, &w, &mut l);
         assert_eq!(d, vec![0.0, 1.0, 3.0, 6.0]);
         assert_eq!(r, vec![0, 0, 0, 0]);
         assert_eq!(l.depth() as usize, pgraph::ceil_log2(4) as usize + 1);
@@ -84,7 +90,7 @@ mod tests {
         let parent = vec![0, 0, 0, 3, 3, 4];
         let w = vec![0.0, 2.0, 5.0, 0.0, 1.0, 1.5];
         let mut l = Ledger::new();
-        let (d, r) = pointer_jump_distances(&parent, &w, &mut l);
+        let (d, r) = pointer_jump_distances(&exec(), &parent, &w, &mut l);
         assert_eq!(d, vec![0.0, 2.0, 5.0, 0.0, 1.0, 2.5]);
         assert_eq!(r, vec![0, 0, 0, 3, 3, 3]);
     }
@@ -97,7 +103,7 @@ mod tests {
             .collect();
         let w: Vec<Weight> = (0..n).map(|v| if v == 0 { 0.0 } else { 1.0 }).collect();
         let mut l = Ledger::new();
-        let (d, r) = pointer_jump_distances(&parent, &w, &mut l);
+        let (d, r) = pointer_jump_distances(&exec(), &parent, &w, &mut l);
         for v in 0..n {
             assert_eq!(d[v], v as f64);
             assert_eq!(r[v], 0);
@@ -108,14 +114,14 @@ mod tests {
     fn roots_only() {
         let parent = vec![0, 0, 1, 2, 4, 4];
         let mut l = Ledger::new();
-        let r = pointer_jump_roots(&parent, &mut l);
+        let r = pointer_jump_roots(&exec(), &parent, &mut l);
         assert_eq!(r, vec![0, 0, 0, 0, 4, 4]);
     }
 
     #[test]
     fn empty_input() {
         let mut l = Ledger::new();
-        let (d, r) = pointer_jump_distances(&[], &[], &mut l);
+        let (d, r) = pointer_jump_distances(&exec(), &[], &[], &mut l);
         assert!(d.is_empty() && r.is_empty());
     }
 
@@ -128,12 +134,10 @@ mod tests {
             .collect();
         let w: Vec<Weight> = (0..n).map(|v| if v == 0 { 0.0 } else { 0.5 }).collect();
         let mut l1 = Ledger::new();
-        let (bd, br) =
-            crate::pool::with_threads(1, || pointer_jump_distances(&parent, &w, &mut l1));
+        let (bd, br) = pointer_jump_distances(&Executor::sequential(), &parent, &w, &mut l1);
         for threads in [2usize, 4, 8] {
             let mut l = Ledger::new();
-            let (d, r) =
-                crate::pool::with_threads(threads, || pointer_jump_distances(&parent, &w, &mut l));
+            let (d, r) = pointer_jump_distances(&Executor::shared(threads), &parent, &w, &mut l);
             assert_eq!(r, br, "threads={threads}");
             for (x, y) in d.iter().zip(&bd) {
                 assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");

@@ -15,18 +15,23 @@
 //! | prefix sums over `m` items | `⌈log2 m⌉` | `m` | folklore, used in App. C |
 //! | pointer-jumping round | 1 | `m` | \[SV82\], §4.2 |
 //!
-//! Actual execution uses [`pool`] — a deterministic chunked scoped-thread
-//! pool (`std::thread::scope`, no external deps) with fixed chunk
-//! boundaries and order-independent reductions, so results are bit-identical
-//! across thread counts (tested, `tests/determinism.rs`). The thread count
-//! comes from `pool::with_threads` / `pool::set_global_threads` / the
+//! Actual execution uses [`pool`] — a **persistent worker-pool runtime**
+//! (std-only: parked workers, condvar dispatch, barrier per round) behind
+//! the explicit [`Executor`] handle every primitive takes. Chunk
+//! boundaries are a pure function of `(len, threads)` and reductions are
+//! order-independent, so results are bit-identical across thread counts
+//! (tested, `tests/determinism.rs`). Handles come from `Executor::new(t)`
+//! (private pool), `Executor::shared(t)` (process-cached), or
+//! `Executor::current()` — the compatibility default resolved from
+//! `pool::with_threads` / `pool::set_global_threads` / the
 //! `PRAM_SSSP_THREADS` env var / the hardware, in that order. The legacy
 //! sequential execution path survives behind the `seq-shim` feature only
 //! (see `shims/README.md`).
 //!
 //! Modules:
 //! * [`ledger`] — the work/depth ledger,
-//! * [`pool`] — the chunked thread pool all primitives execute on,
+//! * [`pool`] — the persistent worker pool + [`Executor`] handle all
+//!   primitives execute on,
 //! * [`prim`] — deterministic parallel map/reduce helpers,
 //! * [`scan`] — prefix sums,
 //! * [`sort`] — instrumented sorting (the AKS stand-in),
@@ -49,3 +54,4 @@ pub use bford::{bellman_ford, BellmanFordResult, ParentEdge};
 pub use cc::{connected_components, spanning_forest, CcResult};
 pub use jump::pointer_jump_distances;
 pub use ledger::Ledger;
+pub use pool::Executor;

@@ -1,57 +1,110 @@
-//! The deterministic chunked thread pool: real scoped-thread execution for
-//! every `pram` primitive, with bit-identical results at any thread count.
+//! The persistent worker-pool runtime: parked workers, barrier-cost
+//! parallel rounds, bit-identical results at any thread count.
 //!
-//! PR 1 shipped a sequential `rayon` shim (the build environment has no
-//! registry access), which made every "parallel" primitive a plain loop.
-//! This module replaces it with genuine multi-threaded execution built on
-//! `std::thread::scope` — no external dependencies — while keeping the
-//! repository's determinism contract (DESIGN.md §5) intact by construction:
+//! PR 3 built real multi-threaded execution on `std::thread::scope`, which
+//! paid a fresh OS-thread spawn (tens of microseconds) on **every**
+//! primitive call. The oracle pipeline executes thousands of tiny parallel
+//! rounds (β-limited Bellman–Ford pulses, ruling-set levels, per-scale
+//! explorations), so spawn overhead swamped the per-round work —
+//! EXPERIMENTS.md recorded construction getting *slower* at t=8. This
+//! module replaces the scoped pool with a **persistent** one (still
+//! std-only, no external dependencies): an [`Executor`] owns `threads − 1`
+//! parked worker threads, and a parallel round costs a condvar wake plus a
+//! barrier instead of a syscall storm.
 //!
-//! * **Fixed chunk boundaries.** [`chunk_bounds`] derives the work split
-//!   purely from `(input length, thread count)`:
-//!   `min(threads, len / MIN_CHUNK)` (at least one) contiguous chunks
-//!   whose sizes differ by at most one, earlier chunks larger — the
-//!   [`MIN_CHUNK`] floor keeps every spawned thread busy long enough to
-//!   amortize its spawn cost. Nothing about the split depends on
-//!   scheduling.
-//! * **Merge in chunk order.** [`run_chunks`] collects per-chunk results
-//!   into a `Vec` indexed by chunk, caller-side, in chunk order — never in
-//!   completion order.
-//! * **Order-independent reductions only.** Callers combine per-chunk
-//!   results with associative, commutative operations over totally ordered
-//!   keys (min with smallest-index tie-breaks, `u64` sums, `bool` any).
-//!   Under that discipline the *values* are independent of the boundaries
-//!   too, so outputs are bit-identical for any thread count — the property
-//!   `tests/determinism.rs` pins for the full oracle pipeline.
+//! ## The `Executor` handle
 //!
-//! ## Thread-count resolution
+//! [`Executor`] is a cheap-to-clone, `Arc`-backed, `Send + Sync` handle.
+//! Every `pram` primitive takes `&Executor` explicitly — thread counts are
+//! no longer resolved from ambient (thread-local / global / env) state in
+//! each hot call. Handles come from:
 //!
-//! [`current_threads`] resolves, in priority order:
+//! * [`Executor::new(t)`](Executor::new) — a **private** pool: its workers
+//!   serve only this handle's clones, and are shut down and joined when the
+//!   last clone drops. This is what `sssp::OracleBuilder::threads(t)` pins,
+//!   so two oracles with different thread counts run concurrently with zero
+//!   global-state crosstalk.
+//! * [`Executor::shared(t)`](Executor::shared) — the lazily-created,
+//!   process-cached pool for count `t` (workers live for the process).
+//! * [`Executor::current()`](Executor::current) — the process-default:
+//!   [`Executor::shared`] at the count resolved from the legacy ambient
+//!   knobs (see below). This is what layers use when no handle was passed
+//!   down — the compatibility path, not the hot path.
 //!
-//! 1. a scoped override installed by [`with_threads`] (thread-local —
-//!    what `OracleBuilder::threads` wraps around each build/query, and
-//!    what benches and the cross-thread-count tests use);
-//! 2. the process-global count set by [`set_global_threads`] (an
-//!    operator-level knob for embedding applications; nothing in this
-//!    workspace calls it outside tests);
-//! 3. the `PRAM_SSSP_THREADS` environment variable (a positive integer;
-//!    `0`, empty, or unparsable values are ignored), read once per process;
-//! 4. [`std::thread::available_parallelism`], the hardware default.
+//! ## Dispatch / barrier protocol
 //!
-//! Inside a pool worker the count is pinned to 1: nested primitives run
-//! sequentially instead of spawning `t²` threads. (Results are unaffected —
-//! see the contract above — only the schedule is.)
+//! One parallel round (`run_chunks` / `for_each_chunk_mut`):
+//!
+//! 1. the caller takes the executor's **round lock** (rounds from
+//!    concurrent caller threads on one executor serialize, they never
+//!    interleave),
+//! 2. publishes a lifetime-erased job — `(task, chunk-claim counter,
+//!    chunk count)` — under the state mutex and wakes
+//!    `min(workers, nchunks − 1)` workers (the caller participates too;
+//!    a round never enrolls — or barriers on — more workers than it has
+//!    chunks, so small rounds on big pools stay cheap),
+//! 3. works itself: caller and enrolled workers claim chunk indices from
+//!    one atomic counter until none remain (which chunk runs *where* is
+//!    schedule-dependent; results are not — see the contract below),
+//! 4. waits on the completion condvar until every enrolled worker has
+//!    checked in, then clears the job and releases the round lock.
+//!
+//! Step 4 is the barrier that makes the lifetime erasure sound: the
+//! borrowed task and output slots outlive the round because `dispatch`
+//! cannot return (or unwind) before every worker is done with them. A
+//! panicking task is caught on the worker, the worker checks in normally
+//! (it stays parked for the next round — panics never poison or deadlock
+//! the pool), and the payload is re-thrown on the caller after the
+//! barrier.
+//!
+//! ## Determinism contract (DESIGN.md §5)
+//!
+//! * **Fixed chunk boundaries.** [`chunk_bounds`] derives the split purely
+//!   from `(len, threads)`: `min(threads, len / MIN_CHUNK)` (at least one)
+//!   contiguous chunks, sizes differing by at most one, earlier chunks
+//!   larger. Nothing about the split depends on scheduling.
+//! * **Merge in chunk order.** [`Executor::run_chunks`] writes each chunk's
+//!   result into the slot indexed by its chunk number; completion order is
+//!   unobservable.
+//! * **Order-independent reductions.** Callers combine per-chunk results
+//!   with associative, commutative operations over totally ordered keys,
+//!   so the *values* do not depend on the boundaries either. Outputs are
+//!   bit-identical for every thread count — and to the retired scoped
+//!   implementation (`tests/determinism.rs` pins the full pipeline).
+//!
+//! ## Thread-count resolution (legacy ambient knobs)
+//!
+//! [`Executor::current`] resolves, in priority order: a scoped
+//! [`with_threads`] override (thread-local) → [`set_global_threads`] → the
+//! `PRAM_SSSP_THREADS` environment variable → hardware parallelism. These
+//! knobs are **construction-time defaults** for code that has no explicit
+//! handle (legacy shims, tests, the env-driven CI matrix); they are no
+//! longer consulted by any primitive at execution time, and the intended
+//! long-term path is an explicit `Executor` everywhere (see DESIGN.md §5's
+//! deprecation note).
+//!
+//! Inside a pool task the effective count is pinned to 1: nested
+//! primitives run sequentially instead of deadlocking on their own pool or
+//! fanning out `t²` threads. (Results are unaffected — only the schedule.)
 //!
 //! ## The `seq-shim` feature
 //!
-//! With `--features seq-shim` the executors route through the sequential
-//! `rayon` shim exactly as before this module existed, which keeps the shim
-//! exercised and offers a zero-thread escape hatch (see `shims/README.md`).
+//! With `--features seq-shim` executors spawn no workers and every round
+//! routes through the sequential `rayon` shim, exactly as before real
+//! threads existed — same results, zero threads (see `shims/README.md`).
 
+#[cfg(not(feature = "seq-shim"))]
+use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
+#[cfg(not(feature = "seq-shim"))]
+use std::panic::resume_unwind;
+#[cfg(any(test, not(feature = "seq-shim")))]
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+#[cfg(not(feature = "seq-shim"))]
+use std::sync::Condvar;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Inputs shorter than this run sequentially in every `prim` primitive;
 /// inputs of **exactly** this length take the chunked parallel path.
@@ -63,10 +116,10 @@ use std::sync::OnceLock;
 pub const PAR_THRESHOLD: usize = 4096;
 
 /// No chunk is ever smaller than this (except when a single chunk covers
-/// the whole input): spawning a scoped thread costs tens of microseconds,
-/// so chunks must carry enough work to amortize it. With
-/// `PAR_THRESHOLD = 4096` and `MIN_CHUNK = 2048`, the smallest parallel
-/// input splits into exactly two chunks.
+/// the whole input): even with persistent workers a chunk costs a wake +
+/// barrier check-in, so chunks must carry enough work to be worth
+/// distributing. With `PAR_THRESHOLD = 4096` and `MIN_CHUNK = 2048`, the
+/// smallest parallel input splits into exactly two chunks.
 pub const MIN_CHUNK: usize = 2048;
 
 /// Process-global thread count; `0` means "not set".
@@ -75,8 +128,9 @@ static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
     /// Scoped override installed by [`with_threads`]; `0` means "not set".
     static TLS_THREADS: Cell<usize> = const { Cell::new(0) };
-    /// True while this thread is executing a pool task (worker or the
-    /// caller processing its own chunk): nested primitives go sequential.
+    /// True while this thread is executing a pool task (a parked worker, or
+    /// the caller processing chunks of a round): nested primitives go
+    /// sequential.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -91,10 +145,10 @@ fn env_threads() -> Option<usize> {
     })
 }
 
-/// The thread count the next primitive call on this thread will use.
+/// The thread count [`Executor::current`] would resolve on this thread.
 /// Resolution order: [`with_threads`] scope > [`set_global_threads`] >
 /// `PRAM_SSSP_THREADS` > available parallelism. Always ≥ 1; exactly 1
-/// inside a pool worker (nested parallelism collapses to sequential).
+/// inside a pool task (nested parallelism collapses to sequential).
 pub fn current_threads() -> usize {
     if IN_POOL.with(|c| c.get()) {
         return 1;
@@ -110,8 +164,7 @@ pub fn current_threads() -> usize {
     if let Some(t) = env_threads() {
         return t;
     }
-    // Cached: `available_parallelism` is a syscall, and this accessor sits
-    // on the hot path of every primitive.
+    // Cached: `available_parallelism` is a syscall.
     static HW: OnceLock<usize> = OnceLock::new();
     *HW.get_or_init(|| {
         std::thread::available_parallelism()
@@ -120,18 +173,22 @@ pub fn current_threads() -> usize {
     })
 }
 
-/// Set the process-global thread count — an operator-level knob for
-/// embedding applications (per-oracle pinning uses scoped
-/// [`with_threads`] via `OracleBuilder::threads` instead). `0` clears the
-/// setting, restoring the env-var/hardware default. Scoped
-/// [`with_threads`] overrides still win.
+/// Set the process-global default thread count — an operator-level knob
+/// for embedding applications, consulted only by [`Executor::current`]
+/// (per-oracle pinning passes an explicit executor instead:
+/// `OracleBuilder::threads`). `0` clears the setting, restoring the
+/// env-var/hardware default. Scoped [`with_threads`] overrides still win.
 pub fn set_global_threads(threads: usize) {
     GLOBAL_THREADS.store(threads, Ordering::Relaxed);
 }
 
-/// Run `f` with the thread count pinned to `threads.max(1)` on this thread
-/// (and on the pool scopes it opens). Restores the previous override on
-/// exit, including on panic — safe to nest.
+/// Run `f` with [`Executor::current`]'s resolution pinned to
+/// `threads.max(1)` on this thread (`0` clamps to 1 — the clamp rule of
+/// [`Executor::new`]). Restores the previous override on exit, including
+/// on panic — safe to nest.
+///
+/// This affects only code that resolves a *default* executor inside `f`;
+/// an explicit `Executor` handle always wins.
 pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     struct Restore(usize);
     impl Drop for Restore {
@@ -143,14 +200,6 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     let _restore = Restore(prev);
     TLS_THREADS.with(|c| c.set(threads.max(1)));
     f()
-}
-
-/// True when a length-`len` input should take the chunked parallel path:
-/// `len >= PAR_THRESHOLD` **and** more than one thread is available (which
-/// is never the case inside a pool worker).
-#[inline]
-pub fn parallel_eligible(len: usize) -> bool {
-    len >= PAR_THRESHOLD && current_threads() > 1
 }
 
 /// The deterministic chunking rule: split `0..len` into
@@ -185,14 +234,13 @@ fn balanced_split(len: usize, nchunks: usize) -> Vec<Range<usize>> {
 /// a substantial computation (e.g. one full Bellman–Ford exploration per
 /// item), not array elements: `min(threads, len)` balanced contiguous
 /// chunks with **no** [`MIN_CHUNK`] floor. Same determinism properties as
-/// [`chunk_bounds`] (a pure function of the two arguments); pass the
-/// result to [`run_chunks`].
+/// [`chunk_bounds`] (a pure function of the two arguments).
 pub fn task_bounds(len: usize, threads: usize) -> Vec<Range<usize>> {
     balanced_split(len, threads.max(1).min(len.max(1)))
 }
 
-/// Run `f` with this thread marked as a pool worker (nested primitives
-/// collapse to sequential). Restores the flag on exit.
+/// Run `f` with this thread marked as a pool participant (nested
+/// primitives collapse to sequential). Restores the flag on exit.
 #[cfg_attr(feature = "seq-shim", allow(dead_code))]
 fn as_worker<R>(f: impl FnOnce() -> R) -> R {
     struct Restore(bool);
@@ -207,100 +255,467 @@ fn as_worker<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Execute `task` once per chunk and return the per-chunk results **in
-/// chunk order**. Chunks `1..` run on freshly spawned scoped threads; the
-/// calling thread processes chunk `0` concurrently. A panicking task
-/// propagates to the caller.
-///
-/// With `--features seq-shim` this routes through the sequential `rayon`
-/// shim instead (same results, no threads).
-pub fn run_chunks<R: Send>(
-    bounds: &[Range<usize>],
-    task: impl Fn(Range<usize>) -> R + Sync,
-) -> Vec<R> {
-    #[cfg(feature = "seq-shim")]
-    {
-        use rayon::prelude::*;
-        bounds.par_iter().cloned().map(task).collect()
-    }
-    #[cfg(not(feature = "seq-shim"))]
-    {
-        if bounds.len() <= 1 {
-            return bounds.iter().cloned().map(task).collect();
-        }
-        std::thread::scope(|s| {
-            let task = &task;
-            let handles: Vec<_> = bounds[1..]
-                .iter()
-                .map(|r| {
-                    let r = r.clone();
-                    s.spawn(move || as_worker(|| task(r)))
-                })
-                .collect();
-            let mut out = Vec::with_capacity(bounds.len());
-            out.push(as_worker(|| task(bounds[0].clone())));
-            for h in handles {
-                match h.join() {
-                    Ok(r) => out.push(r),
-                    Err(payload) => std::panic::resume_unwind(payload),
+/// Poison-immune lock: a worker panic never happens while holding the
+/// state mutex (tasks run outside it), but be robust anyway.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------------
+
+/// A one-round job, lifetime-erased. Valid only while its round is in
+/// flight: `dispatch` barriers on worker check-in before the referents
+/// (caller stack data) go away.
+#[cfg(not(feature = "seq-shim"))]
+#[derive(Clone, Copy)]
+struct Job {
+    /// The per-chunk task, `task(chunk_index)`.
+    task: &'static (dyn Fn(usize) + Sync),
+    /// The shared chunk-claim counter (caller-owned).
+    next: &'static AtomicUsize,
+    /// Number of chunks in the round.
+    nchunks: usize,
+}
+
+#[cfg(not(feature = "seq-shim"))]
+struct PoolState {
+    /// Round generation counter; workers run one job per bump.
+    epoch: u64,
+    /// The in-flight job, if any.
+    job: Option<Job>,
+    /// Enrolled workers that have not yet checked in for the current round.
+    active: usize,
+    /// Enrollment slots left this round: `min(workers, nchunks − 1)`. A
+    /// worker that observes a new epoch with no slot left skips the round
+    /// entirely — small rounds barrier on a small check-in set instead of
+    /// the whole pool.
+    enroll: usize,
+    /// First worker panic of the round, re-thrown by the caller.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set once by `Drop`: workers exit.
+    shutdown: bool,
+}
+
+#[cfg(not(feature = "seq-shim"))]
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    work_cv: Condvar,
+    /// The dispatching caller waits here for `active == 0`.
+    done_cv: Condvar,
+    /// Serializes whole rounds across concurrent caller threads.
+    round_lock: Mutex<()>,
+    /// Number of worker threads (`threads − 1`).
+    workers: usize,
+}
+
+#[cfg(not(feature = "seq-shim"))]
+fn worker_loop(shared: Arc<Shared>) {
+    // A worker thread is permanently a pool participant: any primitive a
+    // task calls transitively sees an effective thread count of 1.
+    IN_POOL.with(|c| c.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
                 }
+                if st.epoch != seen_epoch {
+                    // Observe the round exactly once, enrolled or not.
+                    seen_epoch = st.epoch;
+                    match st.job {
+                        Some(job) if st.enroll > 0 => {
+                            st.enroll -= 1;
+                            break job;
+                        }
+                        // Round already fully enrolled (or cleared): not a
+                        // participant — go straight back to parking.
+                        _ => continue,
+                    }
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
-            out
-        })
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(&job)));
+        let mut st = lock(&shared.state);
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
     }
 }
 
-/// Split `data` at `bounds` (which must partition `0..data.len()`, as
-/// produced by [`chunk_bounds`]) and execute `task(chunk_index, chunk)`
-/// for every chunk, chunks `1..` on scoped threads. Writes are disjoint by
-/// construction, so no merge step exists and determinism is structural.
-pub fn for_each_chunk_mut<T: Send>(
-    data: &mut [T],
-    bounds: &[Range<usize>],
-    task: impl Fn(usize, &mut [T]) + Sync,
-) {
-    let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(bounds.len());
-    let mut rest = data;
-    let mut consumed = 0usize;
-    for (ci, r) in bounds.iter().enumerate() {
-        assert_eq!(r.start, consumed, "bounds must be contiguous from 0");
-        let (piece, tail) = rest.split_at_mut(r.end - r.start);
-        pieces.push((ci, piece));
-        rest = tail;
-        consumed = r.end;
-    }
-    assert!(rest.is_empty(), "bounds must cover the whole slice");
-    #[cfg(feature = "seq-shim")]
-    {
-        use rayon::prelude::*;
-        pieces
-            .into_par_iter()
-            .for_each(|(ci, piece)| task(ci, piece));
-    }
-    #[cfg(not(feature = "seq-shim"))]
-    {
-        if pieces.len() <= 1 {
-            for (ci, piece) in pieces {
-                task(ci, piece);
-            }
+/// Claim and run chunks until the round's counter is exhausted.
+#[cfg(not(feature = "seq-shim"))]
+fn run_job(job: &Job) {
+    loop {
+        let ci = job.next.fetch_add(1, Ordering::Relaxed);
+        if ci >= job.nchunks {
             return;
         }
-        std::thread::scope(|s| {
-            let task = &task;
-            let mut iter = pieces.into_iter();
-            let first = iter.next().expect("at least one chunk");
-            let handles: Vec<_> = iter
-                .map(|(ci, piece)| s.spawn(move || as_worker(|| task(ci, piece))))
-                .collect();
-            as_worker(|| task(first.0, first.1));
-            for h in handles {
-                if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
-                }
-            }
-        });
+        (job.task)(ci);
     }
 }
+
+/// The executor's owned core: shared pool state plus the worker join
+/// handles. Dropping the last [`Executor`] clone shuts the workers down.
+struct Core {
+    threads: usize,
+    #[cfg(not(feature = "seq-shim"))]
+    shared: Option<Arc<Shared>>,
+    #[cfg(not(feature = "seq-shim"))]
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "seq-shim"))]
+        if let Some(shared) = &self.shared {
+            lock(&shared.state).shutdown = true;
+            shared.work_cv.notify_all();
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A shareable handle to a persistent worker pool — the explicit execution
+/// context every `pram` primitive takes (see the module docs for the
+/// dispatch protocol and the determinism contract).
+///
+/// Cloning is cheap (`Arc` bump); clones share one pool. The handle is
+/// `Send + Sync`: concurrent rounds from different caller threads
+/// serialize on the round lock, so a single executor can safely serve
+/// multi-threaded query traffic.
+#[derive(Clone)]
+pub struct Executor {
+    core: Arc<Core>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.core.threads)
+            .finish()
+    }
+}
+
+impl Default for Executor {
+    /// [`Executor::current`]: the process-default executor.
+    fn default() -> Self {
+        Executor::current()
+    }
+}
+
+impl Executor {
+    /// Create a **private** pool of `threads.max(1)` logical threads:
+    /// `threads − 1` parked workers plus the dispatching caller. This is
+    /// the **single canonical clamp rule** for thread counts in this
+    /// workspace: `0` clamps to `1` (sequential), never an error — the
+    /// rule [`with_threads`] and `sssp::OracleBuilder::threads` both
+    /// inherit (and `tests/executor_isolation.rs` pins).
+    ///
+    /// Workers park immediately and are woken per round; they are shut
+    /// down and joined when the last clone of the handle drops. Under
+    /// `--features seq-shim` no workers are spawned at all.
+    pub fn new(threads: usize) -> Executor {
+        let threads = threads.max(1);
+        #[cfg(not(feature = "seq-shim"))]
+        {
+            let (shared, handles) = if threads > 1 {
+                let shared = Arc::new(Shared {
+                    state: Mutex::new(PoolState {
+                        epoch: 0,
+                        job: None,
+                        active: 0,
+                        enroll: 0,
+                        panic: None,
+                        shutdown: false,
+                    }),
+                    work_cv: Condvar::new(),
+                    done_cv: Condvar::new(),
+                    round_lock: Mutex::new(()),
+                    workers: threads - 1,
+                });
+                let handles = (0..threads - 1)
+                    .map(|i| {
+                        let shared = Arc::clone(&shared);
+                        std::thread::Builder::new()
+                            .name(format!("pram-worker-{i}"))
+                            .spawn(move || worker_loop(shared))
+                            .expect("spawn pool worker")
+                    })
+                    .collect();
+                (Some(shared), handles)
+            } else {
+                (None, Vec::new())
+            };
+            Executor {
+                core: Arc::new(Core {
+                    threads,
+                    shared,
+                    handles,
+                }),
+            }
+        }
+        #[cfg(feature = "seq-shim")]
+        {
+            Executor {
+                core: Arc::new(Core { threads }),
+            }
+        }
+    }
+
+    /// A strictly sequential executor (one thread, no workers).
+    pub fn sequential() -> Executor {
+        Executor::new(1)
+    }
+
+    /// The lazily-created, process-cached executor for `threads.max(1)`
+    /// threads. Unlike [`Executor::new`], repeated calls with the same
+    /// count return handles to **one** pool whose workers live for the
+    /// process — this is what makes [`with_threads`]-style ambient
+    /// configuration cheap (no spawn per resolution).
+    pub fn shared(threads: usize) -> Executor {
+        let threads = threads.max(1);
+        static DEFAULTS: OnceLock<Mutex<Vec<(usize, Executor)>>> = OnceLock::new();
+        let cache = DEFAULTS.get_or_init(|| Mutex::new(Vec::new()));
+        let mut cache = lock(cache);
+        if let Some((_, exec)) = cache.iter().find(|(t, _)| *t == threads) {
+            return exec.clone();
+        }
+        let exec = Executor::new(threads);
+        cache.push((threads, exec.clone()));
+        exec
+    }
+
+    /// The process-default executor: [`Executor::shared`] at the count the
+    /// legacy ambient knobs resolve to ([`current_threads`]). Construction-
+    /// time compatibility path — prefer passing an explicit handle down.
+    pub fn current() -> Executor {
+        Executor::shared(current_threads())
+    }
+
+    /// The logical thread count (chunk boundaries are derived from this —
+    /// it is part of the determinism contract's `(len, threads)` input).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.core.threads
+    }
+
+    /// The thread count a primitive called *right now on this thread*
+    /// would fan out to: [`Executor::threads`], except 1 inside a pool
+    /// task (nested parallelism collapses to sequential).
+    #[inline]
+    pub fn effective_threads(&self) -> usize {
+        if IN_POOL.with(|c| c.get()) {
+            1
+        } else {
+            self.core.threads
+        }
+    }
+
+    /// True when a length-`len` input should take the chunked parallel
+    /// path: `len >= PAR_THRESHOLD` **and** more than one effective thread.
+    #[inline]
+    pub fn parallel_eligible(&self, len: usize) -> bool {
+        len >= PAR_THRESHOLD && self.effective_threads() > 1
+    }
+
+    /// [`chunk_bounds`] at this executor's thread count.
+    #[inline]
+    pub fn chunk_bounds(&self, len: usize) -> Vec<Range<usize>> {
+        chunk_bounds(len, self.effective_threads())
+    }
+
+    /// [`task_bounds`] at this executor's thread count.
+    #[inline]
+    pub fn task_bounds(&self, len: usize) -> Vec<Range<usize>> {
+        task_bounds(len, self.effective_threads())
+    }
+
+    /// Execute `task(chunk_index)` for every `chunk_index in 0..nchunks`,
+    /// distributed over the persistent workers + the calling thread, and
+    /// barrier until all are done. Runs inline (sequentially, in index
+    /// order) when the round has ≤ 1 chunk, the executor is sequential, or
+    /// the calling thread is itself a pool task.
+    #[cfg(not(feature = "seq-shim"))]
+    fn dispatch(&self, nchunks: usize, runner: &(dyn Fn(usize) + Sync)) {
+        let pooled = nchunks > 1 && !IN_POOL.with(|c| c.get());
+        let shared = match &self.core.shared {
+            Some(shared) if pooled => shared,
+            _ => {
+                for ci in 0..nchunks {
+                    runner(ci);
+                }
+                return;
+            }
+        };
+        let next = AtomicUsize::new(0);
+        // SAFETY (lifetime erasure): `job` borrows `runner` and `next`
+        // from this stack frame. The barrier below guarantees every worker
+        // has checked in (and thus dropped its use of the job) before this
+        // function returns or unwinds, so the 'static erasure never
+        // outlives the borrow. The round lock guarantees no other caller
+        // can overwrite the job while this round is in flight.
+        let job = Job {
+            task: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                    runner,
+                )
+            },
+            next: unsafe { std::mem::transmute::<&AtomicUsize, &'static AtomicUsize>(&next) },
+            nchunks,
+        };
+        let round = lock(&shared.round_lock);
+        // The caller participates too, so a round of `nchunks` chunks needs
+        // at most `nchunks − 1` workers: small rounds wake and barrier on a
+        // small check-in set, not the whole pool.
+        let enrolled = shared.workers.min(nchunks - 1);
+        {
+            let mut st = lock(&shared.state);
+            debug_assert!(st.job.is_none(), "round lock must serialize rounds");
+            st.job = Some(job);
+            st.active = enrolled;
+            st.enroll = enrolled;
+            st.epoch = st.epoch.wrapping_add(1);
+            if enrolled == shared.workers {
+                shared.work_cv.notify_all();
+            } else {
+                // notify_one per slot: a lost notification (target mid-loop
+                // rather than parked) is harmless — every worker re-checks
+                // the epoch under the lock before parking, so any
+                // non-parked worker claims an open slot on its own.
+                for _ in 0..enrolled {
+                    shared.work_cv.notify_one();
+                }
+            }
+        }
+        // The caller is a full participant; its own panic must not skip
+        // the barrier (the workers may still be using the job).
+        let caller = catch_unwind(AssertUnwindSafe(|| as_worker(|| run_job(&job))));
+        let mut st = lock(&shared.state);
+        while st.active > 0 {
+            st = shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        let worker_panic = st.panic.take();
+        drop(st);
+        drop(round);
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+    }
+
+    /// `seq-shim` routing: the sequential `rayon` shim runs every chunk on
+    /// the calling thread — same results, no threads.
+    #[cfg(feature = "seq-shim")]
+    fn dispatch(&self, nchunks: usize, runner: &(dyn Fn(usize) + Sync)) {
+        use rayon::prelude::*;
+        (0..nchunks).into_par_iter().for_each(runner);
+    }
+
+    /// Execute `task` once per chunk and return the per-chunk results **in
+    /// chunk order** (each result lands in the slot indexed by its chunk
+    /// number — completion order is unobservable). A panicking task
+    /// propagates to the caller after the round barrier; the pool remains
+    /// usable.
+    pub fn run_chunks<R: Send>(
+        &self,
+        bounds: &[Range<usize>],
+        task: impl Fn(Range<usize>) -> R + Sync,
+    ) -> Vec<R> {
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(bounds.len(), || None);
+        {
+            let out = SendPtr(slots.as_mut_ptr());
+            let runner = move |ci: usize| {
+                let r = task(bounds[ci].clone());
+                // SAFETY: each chunk index is claimed exactly once per
+                // round (atomic counter), so writes are disjoint; the
+                // dispatch barrier orders them before the read below.
+                unsafe { *out.get().add(ci) = Some(r) };
+            };
+            self.dispatch(bounds.len(), &runner);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk executed"))
+            .collect()
+    }
+
+    /// Split `data` at `bounds` (which must partition `0..data.len()`, as
+    /// produced by [`chunk_bounds`]) and execute `task(chunk_index, chunk)`
+    /// for every chunk. Writes are disjoint by construction, so no merge
+    /// step exists and determinism is structural.
+    pub fn for_each_chunk_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        bounds: &[Range<usize>],
+        task: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        let mut consumed = 0usize;
+        for r in bounds {
+            assert_eq!(r.start, consumed, "bounds must be contiguous from 0");
+            // Together with contiguity and the final coverage check, this
+            // is what makes the ranges a genuine partition: a decreasing
+            // range could otherwise sneak an overlapping or out-of-bounds
+            // slice past the other two asserts.
+            assert!(r.end >= r.start, "bounds must be non-decreasing ranges");
+            consumed = r.end;
+        }
+        assert_eq!(consumed, data.len(), "bounds must cover the whole slice");
+        let base = SendPtr(data.as_mut_ptr());
+        let runner = move |ci: usize| {
+            let r = &bounds[ci];
+            // SAFETY: bounds partition `0..data.len()` (asserted above) and
+            // each chunk index runs exactly once per round, so the slices
+            // are disjoint; the dispatch barrier keeps them inside the
+            // borrow of `data`.
+            let piece = unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+            task(ci, piece);
+        };
+        self.dispatch(bounds.len(), &runner);
+    }
+}
+
+/// A raw pointer whose cross-thread use is justified at each use site
+/// (disjoint per-chunk writes under the dispatch barrier).
+struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    /// Accessed through a method so closures capture the (Send + Sync)
+    /// wrapper rather than the bare pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -309,15 +724,14 @@ mod tests {
     #[test]
     fn threshold_is_pinned() {
         // The documented contract of the pool: 4096, and `len == threshold`
-        // takes the parallel path (see `parallel_eligible`).
+        // takes the parallel path (see `Executor::parallel_eligible`).
         assert_eq!(PAR_THRESHOLD, 4096);
-        with_threads(4, || {
-            assert!(!parallel_eligible(PAR_THRESHOLD - 1));
-            assert!(parallel_eligible(PAR_THRESHOLD));
-            assert!(parallel_eligible(PAR_THRESHOLD + 1));
-        });
+        let exec = Executor::shared(4);
+        assert!(!exec.parallel_eligible(PAR_THRESHOLD - 1));
+        assert!(exec.parallel_eligible(PAR_THRESHOLD));
+        assert!(exec.parallel_eligible(PAR_THRESHOLD + 1));
         // One thread ⇒ never parallel, whatever the length.
-        with_threads(1, || assert!(!parallel_eligible(PAR_THRESHOLD)));
+        assert!(!Executor::sequential().parallel_eligible(PAR_THRESHOLD));
     }
 
     #[test]
@@ -371,8 +785,9 @@ mod tests {
 
     #[test]
     fn run_chunks_merges_in_chunk_order() {
-        let bounds = chunk_bounds(10_000, 4);
-        let parts = run_chunks(&bounds, |r| r.map(|i| i as u64).sum::<u64>());
+        let exec = Executor::new(4);
+        let bounds = exec.chunk_bounds(10_000);
+        let parts = exec.run_chunks(&bounds, |r| r.map(|i| i as u64).sum::<u64>());
         assert_eq!(parts.len(), 4);
         // Chunk order, not completion order: chunk 0's sum is the smallest.
         assert!(parts.windows(2).all(|w| w[0] < w[1]));
@@ -381,9 +796,10 @@ mod tests {
 
     #[test]
     fn for_each_chunk_mut_covers_disjointly() {
+        let exec = Executor::new(8);
         let mut v = vec![0u32; 10_001];
-        let bounds = chunk_bounds(v.len(), 8);
-        for_each_chunk_mut(&mut v, &bounds, |ci, piece| {
+        let bounds = exec.chunk_bounds(v.len());
+        exec.for_each_chunk_mut(&mut v, &bounds, |ci, piece| {
             for slot in piece.iter_mut() {
                 *slot += 1 + ci as u32;
             }
@@ -399,6 +815,7 @@ mod tests {
         let before = TLS_THREADS.with(|c| c.get());
         let inner = with_threads(3, || {
             assert_eq!(current_threads(), 3);
+            assert_eq!(Executor::current().threads(), 3);
             with_threads(2, current_threads)
         });
         assert_eq!(inner, 2);
@@ -406,37 +823,118 @@ mod tests {
         // itself: the resolved count may race with other tests touching the
         // process-global setting).
         assert_eq!(TLS_THREADS.with(|c| c.get()), before);
-        // Zero clamps to one rather than clearing mid-scope.
+        // Zero clamps to one rather than clearing mid-scope (the
+        // Executor::new clamp rule).
         assert_eq!(with_threads(0, current_threads), 1);
     }
 
-    // Under `seq-shim` no workers exist, so the nested-collapse flag is
-    // never set (everything is sequential anyway).
+    #[test]
+    fn zero_threads_clamp_to_one() {
+        // The canonical clamp rule (documented on Executor::new): 0 is
+        // never an error and never "unset" — it is sequential.
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::shared(0).threads(), 1);
+        assert_eq!(with_threads(0, || Executor::current().threads()), 1);
+    }
+
+    #[test]
+    fn shared_executors_are_cached() {
+        let a = Executor::shared(3);
+        let b = Executor::shared(3);
+        assert!(Arc::ptr_eq(&a.core, &b.core), "one pool per count");
+        let c = Executor::shared(5);
+        assert!(!Arc::ptr_eq(&a.core, &c.core));
+    }
+
+    #[test]
+    fn executor_is_send_sync_and_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Executor>();
+    }
+
+    // Under `seq-shim` everything runs on the calling thread, so the
+    // nested-collapse flag is never set (nothing to collapse).
     #[cfg(not(feature = "seq-shim"))]
     #[test]
     fn nested_calls_collapse_to_sequential() {
-        with_threads(4, || {
-            let bounds = chunk_bounds(4 * MIN_CHUNK, 4);
-            assert_eq!(bounds.len(), 4);
-            let nested = run_chunks(&bounds, |_| current_threads());
-            // Inside a worker (or the caller acting as one) the pool reports
-            // a single thread, so nested primitives cannot fan out.
-            assert_eq!(nested, vec![1, 1, 1, 1]);
+        let exec = Executor::new(4);
+        let bounds = exec.chunk_bounds(4 * MIN_CHUNK);
+        assert_eq!(bounds.len(), 4);
+        let inner = exec.clone();
+        let nested = exec.run_chunks(&bounds, move |_| inner.effective_threads());
+        // Inside a pool task (worker or the caller acting as one) the
+        // executor reports a single effective thread, so nested primitives
+        // cannot fan out (or deadlock on their own pool).
+        assert_eq!(nested, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let exec = Executor::new(4);
+        let bounds = chunk_bounds(8_192, 4);
+        for round in 0..3 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                exec.run_chunks(&bounds, |r| {
+                    assert!(r.start < 4_000, "deliberate test panic {round}");
+                    0u8
+                })
+            }));
+            assert!(caught.is_err(), "round {round} must propagate");
+        }
+        // The workers stayed parked (not dead, not deadlocked): a normal
+        // round still completes on the same pool.
+        let parts = exec.run_chunks(&bounds, |r| r.len() as u64);
+        assert_eq!(parts.iter().sum::<u64>(), 8_192);
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_many_caller_threads() {
+        // One executor, several caller threads issuing rounds at once:
+        // the round lock serializes them, results stay correct.
+        let exec = Executor::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let exec = exec.clone();
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let bounds = exec.chunk_bounds(3 * MIN_CHUNK);
+                        let parts = exec.run_chunks(&bounds, |r| r.map(|i| i as u64).sum::<u64>());
+                        let total: u64 = parts.into_iter().sum();
+                        let n = (3 * MIN_CHUNK) as u64;
+                        assert_eq!(total, n * (n - 1) / 2);
+                    }
+                });
+            }
         });
     }
 
     #[test]
-    fn worker_panic_propagates() {
-        let caught = std::panic::catch_unwind(|| {
-            with_threads(4, || {
-                let bounds = chunk_bounds(8_192, 4);
-                run_chunks(&bounds, |r| {
-                    assert!(r.start < 4_000, "deliberate test panic");
-                    0u8
-                })
-            })
-        });
-        assert!(caught.is_err());
+    fn small_rounds_on_big_pools_enroll_few_workers() {
+        // A 16-thread pool serving 2-chunk rounds: only one worker joins
+        // the caller per round (the rest stay parked), and repeated rounds
+        // stay correct. This is the many-core hot path: round width, not
+        // pool size, bounds the per-round barrier.
+        let exec = Executor::new(16);
+        let bounds = chunk_bounds(2 * MIN_CHUNK, 16);
+        assert_eq!(bounds.len(), 2, "MIN_CHUNK floors the chunk count");
+        for _ in 0..50 {
+            let parts = exec.run_chunks(&bounds, |r| r.map(|i| i as u64).sum::<u64>());
+            let n = (2 * MIN_CHUNK) as u64;
+            assert_eq!(parts.iter().sum::<u64>(), n * (n - 1) / 2);
+        }
+        // Wider rounds on the same pool still use it fully.
+        let wide = chunk_bounds(16 * MIN_CHUNK, 16);
+        assert_eq!(wide.len(), 16);
+        let parts = exec.run_chunks(&wide, |r| r.len());
+        assert_eq!(parts.iter().sum::<usize>(), 16 * MIN_CHUNK);
+    }
+
+    #[test]
+    fn private_pool_shuts_down_on_drop() {
+        let exec = Executor::new(3);
+        let bounds = chunk_bounds(2 * MIN_CHUNK, 2);
+        let _ = exec.run_chunks(&bounds, |r| r.len());
+        drop(exec); // joins the workers; must not hang.
     }
 
     #[test]

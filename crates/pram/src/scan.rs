@@ -5,19 +5,20 @@
 //! algorithm of Shiloach and Vishkin"; this module supplies the prefix part.
 //! Charged at depth `⌈log2 m⌉`, work `m`.
 
-use crate::{pool, Ledger};
+use crate::pool::Executor;
+use crate::Ledger;
 
 /// Exclusive prefix sum: `out[i] = Σ_{j<i} xs[j]`, plus the grand total.
 ///
-/// Parallel three-phase scan on the chunked pool (per-chunk sums →
+/// Parallel three-phase scan on the persistent pool (per-chunk sums →
 /// sequential scan of the chunk sums → chunk-local rescan into disjoint
 /// output chunks); deterministic because addition over `u64` is associative
-/// — the chunk boundaries ([`pool::chunk_bounds`]) depend only on input
-/// length and configured thread count, and the *values* don't depend on
+/// — the chunk boundaries ([`Executor::chunk_bounds`]) depend only on input
+/// length and the executor's thread count, and the *values* don't depend on
 /// them at all.
-pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) {
+pub fn exclusive_prefix_sum(exec: &Executor, xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) {
     ledger.scan(xs.len() as u64);
-    if !pool::parallel_eligible(xs.len()) {
+    if !exec.parallel_eligible(xs.len()) {
         let mut out = Vec::with_capacity(xs.len());
         let mut acc = 0u64;
         for &x in xs {
@@ -26,8 +27,8 @@ pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) 
         }
         return (out, acc);
     }
-    let bounds = pool::chunk_bounds(xs.len(), pool::current_threads());
-    let chunk_sums = pool::run_chunks(&bounds, |r| xs[r].iter().sum::<u64>());
+    let bounds = exec.chunk_bounds(xs.len());
+    let chunk_sums = exec.run_chunks(&bounds, |r| xs[r].iter().sum::<u64>());
     let mut chunk_off = Vec::with_capacity(chunk_sums.len());
     let mut acc = 0u64;
     for &s in &chunk_sums {
@@ -36,7 +37,7 @@ pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) 
     }
     let mut out = vec![0u64; xs.len()];
     let starts: Vec<usize> = bounds.iter().map(|r| r.start).collect();
-    pool::for_each_chunk_mut(&mut out, &bounds, |ci, o| {
+    exec.for_each_chunk_mut(&mut out, &bounds, |ci, o| {
         let mut a = chunk_off[ci];
         for (slot, &x) in o.iter_mut().zip(&xs[starts[ci]..]) {
             *slot = a;
@@ -48,10 +49,15 @@ pub fn exclusive_prefix_sum(xs: &[u64], ledger: &mut Ledger) -> (Vec<u64>, u64) 
 
 /// Stable parallel compaction: keep the elements where `keep` is true,
 /// preserving order. Built on the scan (PRAM-style array packing).
-pub fn compact<T: Clone + Send + Sync>(items: &[T], keep: &[bool], ledger: &mut Ledger) -> Vec<T> {
+pub fn compact<T: Clone + Send + Sync>(
+    exec: &Executor,
+    items: &[T],
+    keep: &[bool],
+    ledger: &mut Ledger,
+) -> Vec<T> {
     assert_eq!(items.len(), keep.len());
     let flags: Vec<u64> = keep.iter().map(|&k| k as u64).collect();
-    let (offsets, total) = exclusive_prefix_sum(&flags, ledger);
+    let (offsets, total) = exclusive_prefix_sum(exec, &flags, ledger);
     ledger.step(items.len() as u64);
     let mut out: Vec<Option<T>> = vec![None; total as usize];
     // Sequential placement is already O(m); parallel placement would need
@@ -74,7 +80,7 @@ mod tests {
     #[test]
     fn small_prefix_sum() {
         let mut l = Ledger::new();
-        let (out, total) = exclusive_prefix_sum(&[3, 1, 4, 1, 5], &mut l);
+        let (out, total) = exclusive_prefix_sum(&Executor::sequential(), &[3, 1, 4, 1, 5], &mut l);
         assert_eq!(out, vec![0, 3, 4, 8, 9]);
         assert_eq!(total, 14);
         assert!(l.depth() > 0);
@@ -83,7 +89,7 @@ mod tests {
     #[test]
     fn empty_prefix_sum() {
         let mut l = Ledger::new();
-        let (out, total) = exclusive_prefix_sum(&[], &mut l);
+        let (out, total) = exclusive_prefix_sum(&Executor::sequential(), &[], &mut l);
         assert!(out.is_empty());
         assert_eq!(total, 0);
     }
@@ -92,7 +98,7 @@ mod tests {
     fn large_prefix_sum_matches_sequential() {
         let xs: Vec<u64> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
         let mut l = Ledger::new();
-        let (out, total) = pool::with_threads(4, || exclusive_prefix_sum(&xs, &mut l));
+        let (out, total) = exclusive_prefix_sum(&Executor::shared(4), &xs, &mut l);
         let mut acc = 0u64;
         for i in 0..xs.len() {
             assert_eq!(out[i], acc, "index {i}");
@@ -105,10 +111,10 @@ mod tests {
     fn identical_across_thread_counts() {
         let xs: Vec<u64> = (0..20_001).map(|i| (i * 2654435761) % 1009).collect();
         let mut l1 = Ledger::new();
-        let baseline = pool::with_threads(1, || exclusive_prefix_sum(&xs, &mut l1));
+        let baseline = exclusive_prefix_sum(&Executor::sequential(), &xs, &mut l1);
         for threads in [2usize, 3, 4, 8] {
             let mut l = Ledger::new();
-            let got = pool::with_threads(threads, || exclusive_prefix_sum(&xs, &mut l));
+            let got = exclusive_prefix_sum(&Executor::shared(threads), &xs, &mut l);
             assert_eq!(got, baseline, "threads={threads}");
             assert_eq!(l, l1, "ledger threads={threads}");
         }
@@ -119,7 +125,7 @@ mod tests {
         let items: Vec<u32> = (0..1000).collect();
         let keep: Vec<bool> = items.iter().map(|&x| x % 3 == 0).collect();
         let mut l = Ledger::new();
-        let out = compact(&items, &keep, &mut l);
+        let out = compact(&Executor::shared(4), &items, &keep, &mut l);
         let expect: Vec<u32> = items.iter().copied().filter(|&x| x % 3 == 0).collect();
         assert_eq!(out, expect);
     }

@@ -8,14 +8,15 @@
 //! output independent of thread count even with equal keys) and charge depth
 //! `⌈log2 m⌉`, work `m·⌈log2 m⌉` on the [`Ledger`].
 //!
-//! Parallel scheme: the slice is split at the pool's deterministic chunk
-//! boundaries, each chunk is stably sorted on its own scoped thread, and a
+//! Parallel scheme: the slice is split at the executor's deterministic chunk
+//! boundaries, each chunk is stably sorted on its own pool worker, and a
 //! final sequential stable pass merges the presorted runs (std's stable
 //! sort is run-adaptive, so that pass costs the merge, not a full re-sort).
 //! A stable comparison sort has a *unique* output, so the result is the
 //! same as a fully sequential `sort_by` for every thread count.
 
-use crate::{pool, Ledger};
+use crate::pool::Executor;
+use crate::Ledger;
 use std::cmp::Ordering;
 
 /// Inputs shorter than this sort sequentially (perf-book: avoid parallel
@@ -26,30 +27,36 @@ const PAR_SORT_THRESHOLD: usize = 1 << 13;
 ///
 /// `cmp` must be a total order. The sort is stable, so the result is uniquely
 /// determined by the input even when `cmp` has ties.
-pub fn sort_by<T: Send>(v: &mut [T], ledger: &mut Ledger, cmp: impl Fn(&T, &T) -> Ordering + Sync) {
+pub fn sort_by<T: Send>(
+    exec: &Executor,
+    v: &mut [T],
+    ledger: &mut Ledger,
+    cmp: impl Fn(&T, &T) -> Ordering + Sync,
+) {
     ledger.sort(v.len() as u64);
-    if v.len() < PAR_SORT_THRESHOLD || pool::current_threads() <= 1 {
+    if v.len() < PAR_SORT_THRESHOLD || exec.effective_threads() <= 1 {
         v.sort_by(|a, b| cmp(a, b));
         return;
     }
-    let bounds = pool::chunk_bounds(v.len(), pool::current_threads());
-    pool::for_each_chunk_mut(v, &bounds, |_, chunk| chunk.sort_by(|a, b| cmp(a, b)));
+    let bounds = exec.chunk_bounds(v.len());
+    exec.for_each_chunk_mut(v, &bounds, |_, chunk| chunk.sort_by(|a, b| cmp(a, b)));
     v.sort_by(|a, b| cmp(a, b));
 }
 
 /// Sort by a key function (stable), charging the PRAM cost to `ledger`.
 pub fn sort_by_key<T: Send, K: Ord>(
+    exec: &Executor,
     v: &mut [T],
     ledger: &mut Ledger,
     key: impl Fn(&T) -> K + Sync,
 ) {
     ledger.sort(v.len() as u64);
-    if v.len() < PAR_SORT_THRESHOLD || pool::current_threads() <= 1 {
+    if v.len() < PAR_SORT_THRESHOLD || exec.effective_threads() <= 1 {
         v.sort_by_key(|t| key(t));
         return;
     }
-    let bounds = pool::chunk_bounds(v.len(), pool::current_threads());
-    pool::for_each_chunk_mut(v, &bounds, |_, chunk| chunk.sort_by_key(|t| key(t)));
+    let bounds = exec.chunk_bounds(v.len());
+    exec.for_each_chunk_mut(v, &bounds, |_, chunk| chunk.sort_by_key(|t| key(t)));
     v.sort_by_key(|t| key(t));
 }
 
@@ -61,7 +68,7 @@ mod tests {
     fn sorts_and_charges() {
         let mut v = vec![5, 3, 9, 1, 1, 7];
         let mut l = Ledger::new();
-        sort_by(&mut v, &mut l, |a, b| a.cmp(b));
+        sort_by(&Executor::sequential(), &mut v, &mut l, |a, b| a.cmp(b));
         assert_eq!(v, vec![1, 1, 3, 5, 7, 9]);
         assert_eq!(l.depth(), 3); // ceil(log2 6)
         assert_eq!(l.work(), 18);
@@ -73,7 +80,7 @@ mod tests {
         let mut expect = v.clone();
         expect.sort();
         let mut l = Ledger::new();
-        crate::pool::with_threads(4, || sort_by_key(&mut v, &mut l, |&x| x));
+        sort_by_key(&Executor::shared(4), &mut v, &mut l, |&x| x);
         assert_eq!(v, expect);
     }
 
@@ -82,7 +89,7 @@ mod tests {
         // Pairs sharing a key must keep input order.
         let mut v: Vec<(u32, u32)> = (0..20_000).map(|i| (i % 5, i)).collect();
         let mut l = Ledger::new();
-        crate::pool::with_threads(8, || sort_by_key(&mut v, &mut l, |&(k, _)| k));
+        sort_by_key(&Executor::shared(8), &mut v, &mut l, |&(k, _)| k);
         for w in v.windows(2) {
             assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
         }
@@ -97,11 +104,15 @@ mod tests {
         };
         let mut baseline = mk();
         let mut l1 = Ledger::new();
-        crate::pool::with_threads(1, || sort_by(&mut baseline, &mut l1, |a, b| a.0.cmp(&b.0)));
+        sort_by(&Executor::sequential(), &mut baseline, &mut l1, |a, b| {
+            a.0.cmp(&b.0)
+        });
         for threads in [2usize, 3, 4, 8] {
             let mut v = mk();
             let mut l = Ledger::new();
-            crate::pool::with_threads(threads, || sort_by(&mut v, &mut l, |a, b| a.0.cmp(&b.0)));
+            sort_by(&Executor::shared(threads), &mut v, &mut l, |a, b| {
+                a.0.cmp(&b.0)
+            });
             assert_eq!(v, baseline, "threads={threads}");
             assert_eq!(l, l1);
         }

@@ -1,13 +1,13 @@
 //! Property tests for the PRAM primitives against sequential references.
 //!
-//! The second block below targets the `pram::pool` chunked thread pool:
+//! The second block below targets the `pram::pool` persistent worker pool:
 //! every pool-backed primitive must match its sequential reference on
 //! arbitrary inputs, at arbitrary thread counts, with lengths specifically
 //! straddling `PAR_THRESHOLD` (the sequential/parallel gate, including the
 //! exact-threshold edge) and chunk boundaries (`len = threads·k ± 1`).
 
 use pgraph::{gen, Graph, UnionView, VId};
-use pram::{cc, jump, pool, prim, scan, sort, Ledger};
+use pram::{cc, jump, prim, scan, sort, Executor, Ledger};
 use proptest::prelude::*;
 
 /// Lengths the pool proptests probe: tiny, straddling `PAR_THRESHOLD`,
@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn cc_matches_reference(g in arb_graph()) {
         let mut l = Ledger::new();
-        let res = cc::connected_components(&g, &mut l);
+        let res = cc::connected_components(&Executor::sequential(), &g, &mut l);
         prop_assert_eq!(res.label, ref_components(&g));
     }
 
@@ -69,11 +69,12 @@ proptest! {
     #[test]
     fn forest_spans(g in arb_graph()) {
         let mut l = Ledger::new();
-        let (res, forest) = cc::spanning_forest(&g, |_| true, &mut l);
+        let (res, forest) = cc::spanning_forest(&Executor::sequential(), &g, |_| true, &mut l);
         prop_assert_eq!(forest.len(), g.num_vertices() - res.count);
         let set: std::collections::HashSet<usize> = forest.iter().copied().collect();
         let mut l2 = Ledger::new();
-        let res2 = cc::connected_components_filtered(&g, |e| set.contains(&e), &mut l2);
+        let res2 =
+            cc::connected_components_filtered(&Executor::sequential(), &g, |e| set.contains(&e), &mut l2);
         prop_assert_eq!(res.label, res2.label);
     }
 
@@ -81,7 +82,7 @@ proptest! {
     #[test]
     fn scan_matches(xs in proptest::collection::vec(0u64..1000, 0..200)) {
         let mut l = Ledger::new();
-        let (out, total) = scan::exclusive_prefix_sum(&xs, &mut l);
+        let (out, total) = scan::exclusive_prefix_sum(&Executor::sequential(), &xs, &mut l);
         let mut acc = 0u64;
         for (i, &x) in xs.iter().enumerate() {
             prop_assert_eq!(out[i], acc);
@@ -96,7 +97,7 @@ proptest! {
         let mut expect = xs.clone();
         expect.sort_by_key(|&(k, _)| k); // stable by construction
         let mut l = Ledger::new();
-        sort::sort_by_key(&mut xs, &mut l, |&(k, _)| k);
+        sort::sort_by_key(&Executor::sequential(), &mut xs, &mut l, |&(k, _)| k);
         prop_assert_eq!(xs, expect);
     }
 
@@ -123,7 +124,8 @@ proptest! {
             }
         }
         let mut l = Ledger::new();
-        let (dist, root) = jump::pointer_jump_distances(&parent, &weight, &mut l);
+        let (dist, root) =
+            jump::pointer_jump_distances(&Executor::sequential(), &parent, &weight, &mut l);
         for v in 0..n {
             // Walk reference.
             let mut cur = v;
@@ -145,7 +147,7 @@ proptest! {
         let extra = vec![(0u32, (g.num_vertices() - 1) as u32, extra_w)];
         let view = UnionView::with_extra(&g, &extra);
         let mut l = Ledger::new();
-        let par = pram::bellman_ford(&view, &[0], hops, &mut l);
+        let par = pram::bellman_ford(&Executor::sequential(), &view, &[0], hops, &mut l);
         let seq = pgraph::exact::bellman_ford_hops(&view, &[0], hops);
         prop_assert_eq!(par.dist, seq);
     }
@@ -159,7 +161,10 @@ proptest! {
             .enumerate()
             .min_by_key(|(i, &x)| (x, *i))
             .map(|(i, _)| i);
-        prop_assert_eq!(prim::par_argmin_by_key(&xs, |&x| x), expect);
+        prop_assert_eq!(
+            prim::par_argmin_by_key(&Executor::sequential(), &xs, |&x| x),
+            expect
+        );
     }
 
     /// Ledger arithmetic: sequential absorb adds both axes; parallel absorb
@@ -190,7 +195,7 @@ proptest! {
         let len = boundary_len(sel, off, threads);
         let items: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(mul)).collect();
         let expect: Vec<u64> = items.iter().map(|x| x.rotate_left(7) ^ 0xA5A5).collect();
-        let got = pool::with_threads(threads, || prim::par_map(&items, |x| x.rotate_left(7) ^ 0xA5A5));
+        let got = prim::par_map(&Executor::shared(threads), &items, |x| x.rotate_left(7) ^ 0xA5A5);
         prop_assert_eq!(got, expect);
     }
 
@@ -200,7 +205,7 @@ proptest! {
         let len = boundary_len(sel, off, threads);
         let f = |i: usize| (i as u64).wrapping_mul(mul) % 65_537;
         let expect: Vec<u64> = (0..len).map(f).collect();
-        let got = pool::with_threads(threads, || prim::par_map_range(len, f));
+        let got = prim::par_map_range(&Executor::shared(threads), len, f);
         prop_assert_eq!(got, expect);
     }
 
@@ -211,7 +216,7 @@ proptest! {
         let f = |i: usize| (i as u64).wrapping_add(mul).wrapping_mul(2654435761);
         let expect: Vec<u64> = (0..len).map(f).collect();
         let mut got = vec![0u64; len];
-        pool::with_threads(threads, || prim::par_fill(&mut got, f));
+        prim::par_fill(&Executor::shared(threads), &mut got, f);
         prop_assert_eq!(got, expect);
     }
 
@@ -226,7 +231,7 @@ proptest! {
             .enumerate()
             .min_by_key(|(i, &x)| (x, *i))
             .map(|(i, _)| i);
-        let got = pool::with_threads(threads, || prim::par_argmin_by_key(&items, |&x| x));
+        let got = prim::par_argmin_by_key(&Executor::shared(threads), &items, |&x| x);
         prop_assert_eq!(got, expect);
     }
 
@@ -236,7 +241,7 @@ proptest! {
         let len = boundary_len(sel, off, threads);
         let f = |i: usize| (i as u64).wrapping_mul(mul) % 1_000_003;
         let expect: u64 = (0..len).map(f).sum();
-        prop_assert_eq!(pool::with_threads(threads, || prim::par_sum_range(len, f)), expect);
+        prop_assert_eq!(prim::par_sum_range(&Executor::shared(threads), len, f), expect);
     }
 
     /// `par_any_range` equals the sequential any — for targets inside every
@@ -247,8 +252,11 @@ proptest! {
         // Probe both a maybe-present target and a definitely-absent one.
         let t = if len == 0 { 0 } else { (target as usize) % (2 * len) };
         let expect = (0..len).any(|i| i == t);
-        prop_assert_eq!(pool::with_threads(threads, || prim::par_any_range(len, |i| i == t)), expect);
-        prop_assert!(!pool::with_threads(threads, || prim::par_any_range(len, |i| i == len)));
+        prop_assert_eq!(
+            prim::par_any_range(&Executor::shared(threads), len, |i| i == t),
+            expect
+        );
+        prop_assert!(!prim::par_any_range(&Executor::shared(threads), len, |i| i == len));
     }
 
     /// The pool-backed scan equals the sequential prefix sum at lengths
@@ -264,11 +272,11 @@ proptest! {
             acc += x;
         }
         let mut l = Ledger::new();
-        let (out, total) = pool::with_threads(threads, || scan::exclusive_prefix_sum(&xs, &mut l));
+        let (out, total) = scan::exclusive_prefix_sum(&Executor::shared(threads), &xs, &mut l);
         prop_assert_eq!(out, seq_out);
         prop_assert_eq!(total, acc);
         let mut l1 = Ledger::new();
-        let _ = pool::with_threads(1, || scan::exclusive_prefix_sum(&xs, &mut l1));
+        let _ = scan::exclusive_prefix_sum(&Executor::sequential(), &xs, &mut l1);
         prop_assert_eq!(l, l1);
     }
 
@@ -285,7 +293,7 @@ proptest! {
         expect.sort_by_key(|e| e.0); // std stable sort: the reference
         let mut got = mk();
         let mut l = Ledger::new();
-        pool::with_threads(threads, || sort::sort_by(&mut got, &mut l, |a, b| a.0.cmp(&b.0)));
+        sort::sort_by(&Executor::shared(threads), &mut got, &mut l, |a, b| a.0.cmp(&b.0));
         prop_assert_eq!(got, expect);
     }
 }

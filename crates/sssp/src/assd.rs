@@ -15,9 +15,9 @@ use crate::oracle::DistanceMatrix;
 // Re-exported at its pre-0.2 path: `MultiSourceResult` now lives in
 // `crate::oracle`, but legacy imports keep compiling for one release.
 pub use crate::oracle::MultiSourceResult;
-use hopset::{build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamError, ParamMode};
+use hopset::{BuildOptions, BuiltHopset, HopsetParams, ParamError, ParamMode};
 use pgraph::{Graph, UnionView, VId, Weight};
-use pram::{bford, Ledger};
+use pram::{bford, Executor, Ledger};
 
 /// A built query engine: the graph plus its hopset, borrowed for `'g`.
 ///
@@ -30,6 +30,9 @@ pub struct ApproxShortestPaths<'g> {
     /// The `G ∪ H` union CSR, built once at construction and reused by
     /// every query (formerly rebuilt per call).
     view: UnionView<'g>,
+    /// The process-default executor, captured once at construction (like
+    /// the owned `Oracle`) — queries never touch global resolution state.
+    exec: Executor,
 }
 
 impl<'g> ApproxShortestPaths<'g> {
@@ -80,10 +83,16 @@ impl<'g> ApproxShortestPaths<'g> {
     }
 
     fn from_params_inner(g: &'g Graph, params: &HopsetParams) -> Self {
-        let built = build_hopset(g, params, BuildOptions::default());
+        let exec = Executor::current();
+        let built = hopset::build_hopset_on(&exec, g, params, BuildOptions::default());
         let overlay = built.overlay();
         let view = UnionView::with_extra(g, &overlay);
-        ApproxShortestPaths { g, built, view }
+        ApproxShortestPaths {
+            g,
+            built,
+            view,
+            exec,
+        }
     }
 
     /// The underlying hopset and construction report.
@@ -110,7 +119,13 @@ impl<'g> ApproxShortestPaths<'g> {
     /// Same, returning the query's PRAM cost.
     pub fn distances_from_with_ledger(&self, source: VId) -> (Vec<Weight>, Ledger) {
         let mut ledger = Ledger::new();
-        let r = bford::bellman_ford(&self.view, &[source], self.query_hops(), &mut ledger);
+        let r = bford::bellman_ford(
+            &self.exec,
+            &self.view,
+            &[source],
+            self.query_hops(),
+            &mut ledger,
+        );
         (r.dist, ledger)
     }
 
@@ -124,24 +139,26 @@ impl<'g> ApproxShortestPaths<'g> {
     pub fn distances_multi(&self, sources: &[VId]) -> MultiSourceResult {
         use pram::pool;
         let hops = self.query_hops();
+        let exec = &self.exec;
         let explore = |s: VId| {
             let mut ledger = Ledger::new();
-            let r = bford::bellman_ford(&self.view, &[s], hops, &mut ledger);
+            let r = bford::bellman_ford(exec, &self.view, &[s], hops, &mut ledger);
             (r.dist, ledger)
         };
-        let threads = pool::current_threads();
-        let per_source: Vec<(Vec<Weight>, Ledger)> =
-            if self.g.num_vertices() < pool::PAR_THRESHOLD && sources.len() > 1 && threads > 1 {
-                let bounds = pool::task_bounds(sources.len(), threads);
-                pool::run_chunks(&bounds, |r| {
-                    r.map(|i| explore(sources[i])).collect::<Vec<_>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect()
-            } else {
-                sources.iter().map(|&s| explore(s)).collect()
-            };
+        let per_source: Vec<(Vec<Weight>, Ledger)> = if self.g.num_vertices() < pool::PAR_THRESHOLD
+            && sources.len() > 1
+            && exec.effective_threads() > 1
+        {
+            let bounds = exec.task_bounds(sources.len());
+            exec.run_chunks(&bounds, |r| {
+                r.map(|i| explore(sources[i])).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            sources.iter().map(|&s| explore(s)).collect()
+        };
         let mut ledger = Ledger::new();
         let mut dist = DistanceMatrix::with_capacity(sources.len(), self.g.num_vertices());
         for (row, l) in &per_source {
@@ -160,7 +177,14 @@ impl<'g> ApproxShortestPaths<'g> {
     /// queries.
     pub fn distances_to_nearest(&self, sources: &[VId]) -> Vec<Weight> {
         let mut ledger = Ledger::new();
-        bford::bellman_ford(&self.view, sources, self.query_hops(), &mut ledger).dist
+        bford::bellman_ford(
+            &self.exec,
+            &self.view,
+            sources,
+            self.query_hops(),
+            &mut ledger,
+        )
+        .dist
     }
 }
 

@@ -4,7 +4,7 @@
 
 use pgraph::exact::{self, SsspResult};
 use pgraph::{Graph, UnionView, VId, Weight};
-use pram::{bford, Ledger};
+use pram::{bford, Executor, Ledger};
 
 /// Exact sequential Dijkstra (comparison point for counted work and
 /// wall-clock).
@@ -18,7 +18,7 @@ pub fn dijkstra_exact(g: &Graph, source: VId) -> SsspResult {
 pub fn plain_bellman_ford(g: &Graph, source: VId, hops: usize) -> (Vec<Weight>, Ledger) {
     let view = UnionView::base_only(g);
     let mut ledger = Ledger::new();
-    let r = bford::bellman_ford(&view, &[source], hops, &mut ledger);
+    let r = bford::bellman_ford(&Executor::current(), &view, &[source], hops, &mut ledger);
     (r.dist, ledger)
 }
 
@@ -28,7 +28,13 @@ pub fn plain_bellman_ford(g: &Graph, source: VId, hops: usize) -> (Vec<Weight>, 
 pub fn bf_rounds_to_converge(g: &Graph, source: VId) -> usize {
     let view = UnionView::base_only(g);
     let mut ledger = Ledger::new();
-    let r = bford::bellman_ford(&view, &[source], g.num_vertices() + 1, &mut ledger);
+    let r = bford::bellman_ford(
+        &Executor::current(),
+        &view,
+        &[source],
+        g.num_vertices() + 1,
+        &mut ledger,
+    );
     // `converged_at` = first round with no change; convergence was reached
     // the round before.
     r.converged_at.map(|c| c - 1).unwrap_or(r.rounds_run)

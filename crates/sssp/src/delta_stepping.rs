@@ -12,7 +12,7 @@
 //! usual total order, double-buffered).
 
 use pgraph::{Graph, VId, Weight, INF};
-use pram::{prim, Ledger};
+use pram::{prim, Executor, Ledger};
 
 /// Result of a Δ-stepping run.
 #[derive(Clone, Debug)]
@@ -33,6 +33,18 @@ pub struct DeltaSteppingResult {
 /// here is as a *depth* baseline: `buckets × light_rounds` is the round
 /// count a synchronous parallel machine would pay.
 pub fn delta_stepping(g: &Graph, source: VId, delta: Weight) -> DeltaSteppingResult {
+    delta_stepping_on(&Executor::current(), g, source, delta)
+}
+
+/// Like [`delta_stepping`], on an explicit executor (what
+/// [`crate::DeltaSteppingOracle`] owns): every relaxation batch is one
+/// parallel round on `exec`.
+pub fn delta_stepping_on(
+    exec: &Executor,
+    g: &Graph,
+    source: VId,
+    delta: Weight,
+) -> DeltaSteppingResult {
     assert!(delta > 0.0 && delta.is_finite());
     let n = g.num_vertices();
     let mut ledger = Ledger::new();
@@ -60,7 +72,7 @@ pub fn delta_stepping(g: &Graph, source: VId, delta: Weight) -> DeltaSteppingRes
             light_rounds += 1;
             ledger.step(2 * g.num_edges() as u64 + n as u64);
             let prev = &dist;
-            let updates: Vec<Option<Weight>> = prim::par_map_range(n, |v| {
+            let updates: Vec<Option<Weight>> = prim::par_map_range(exec, n, |v| {
                 let mut best = prev[v];
                 for (u, w) in g.neighbors(v as VId) {
                     if w >= delta {
@@ -91,7 +103,7 @@ pub fn delta_stepping(g: &Graph, source: VId, delta: Weight) -> DeltaSteppingRes
         // Relax heavy edges out of the settled bucket, once.
         ledger.step(2 * g.num_edges() as u64 + n as u64);
         let prev = &dist;
-        let updates: Vec<Option<Weight>> = prim::par_map_range(n, |v| {
+        let updates: Vec<Option<Weight>> = prim::par_map_range(exec, n, |v| {
             let mut best = prev[v];
             for (u, w) in g.neighbors(v as VId) {
                 if w < delta {
@@ -195,9 +207,9 @@ mod tests {
         // Above PAR_THRESHOLD vertices: the relaxation rounds run chunked
         // on the pool and must stay bit-identical.
         let g = gen::gnm_connected(5000, 10_000, 11, 1.0, 9.0);
-        let base = pram::pool::with_threads(1, || delta_stepping(&g, 0, 2.0));
+        let base = delta_stepping_on(&Executor::sequential(), &g, 0, 2.0);
         for threads in [2usize, 4, 8] {
-            let r = pram::pool::with_threads(threads, || delta_stepping(&g, 0, 2.0));
+            let r = delta_stepping_on(&Executor::shared(threads), &g, 0, 2.0);
             assert_eq!(r.buckets, base.buckets, "threads={threads}");
             assert_eq!(r.light_rounds, base.light_rounds);
             assert_eq!(r.ledger, base.ledger);

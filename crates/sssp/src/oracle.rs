@@ -45,26 +45,15 @@
 //! assert!(oracle.stretch_bound() == 1.25);
 //! ```
 
-use crate::delta_stepping::{default_delta, delta_stepping};
-use hopset::multi_scale::{build_hopset, BuildOptions, BuiltHopset};
+use crate::delta_stepping::{default_delta, delta_stepping_on};
+use hopset::multi_scale::{build_hopset_on, BuildOptions, BuiltHopset};
 use hopset::params::{HopsetParams, ParamError, ParamMode};
 use hopset::path_report::{build_spt_on, build_spt_reduced_on, SptResult};
-use hopset::reduction::{build_reduced_hopset, ReducedHopset};
+use hopset::reduction::{build_reduced_hopset_on, ReducedHopset};
 use pgraph::{ceil_log2, Graph, UnionGraph, VId, Weight, INF};
+use pram::pool::Executor;
 use pram::{bford, pool, Ledger};
 use std::sync::Arc;
-
-/// Run `f` under the oracle's pinned thread count, if one was configured
-/// ([`OracleBuilder::threads`]); otherwise inherit the process-wide
-/// resolution (`pram::pool`: scoped override > global > `PRAM_SSSP_THREADS`
-/// > hardware).
-#[inline]
-fn scoped_threads<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
-    match threads {
-        Some(t) => pool::with_threads(t, f),
-        None => f(),
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -352,6 +341,7 @@ pub struct OracleBuilder {
     paths: bool,
     pipeline: Pipeline,
     threads: Option<usize>,
+    executor: Option<Executor>,
 }
 
 impl OracleBuilder {
@@ -403,14 +393,26 @@ impl OracleBuilder {
         self
     }
 
-    /// Pin the pool thread count this oracle constructs **and** queries
-    /// with (`pram::pool`'s deterministic chunked scheduling makes results
-    /// bit-identical for every choice — this knob trades wall-clock only).
-    /// `0` is clamped to `1`. Default: inherit the process-wide resolution
-    /// (scoped `pool::with_threads` > `pool::set_global_threads` >
+    /// Pin the thread count: [`build`](OracleBuilder::build) creates a
+    /// **private** persistent `pram` pool ([`Executor::new`]) of this size
+    /// that serves the construction and every subsequent query — no global
+    /// execution state is shared with other oracles (the deterministic
+    /// chunked scheduling makes results bit-identical for every choice, so
+    /// this knob trades wall-clock only). `0` clamps to `1` per
+    /// [`Executor::new`]'s documented rule. Default: inherit the
+    /// process-default executor at build time ([`Executor::current`]:
+    /// scoped `pool::with_threads` > `pool::set_global_threads` >
     /// `PRAM_SSSP_THREADS` > hardware parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Run on an explicit executor handle instead (e.g. one pool shared by
+    /// several oracles, or a bench-controlled one). Takes precedence over
+    /// [`threads`](OracleBuilder::threads).
+    pub fn executor(mut self, exec: Executor) -> Self {
+        self.executor = Some(exec);
         self
     }
 
@@ -452,7 +454,16 @@ impl OracleBuilder {
         let opts = BuildOptions {
             record_paths: self.paths,
         };
-        let (backend, query_hops) = scoped_threads(self.threads, || match pipeline {
+        // The executor the oracle owns: an injected handle wins, then a
+        // pinned private pool, then the process default captured once here
+        // (construction and every query run on the same pool either way —
+        // "parallel round = barrier", never "parallel round = spawn").
+        let exec = match (self.executor, self.threads) {
+            (Some(exec), _) => exec,
+            (None, Some(t)) => Executor::new(t),
+            (None, None) => Executor::current(),
+        };
+        let (backend, query_hops) = match pipeline {
             Pipeline::Plain => {
                 let params = HopsetParams::new(
                     n,
@@ -463,17 +474,18 @@ impl OracleBuilder {
                     aspect,
                     self.hop_cap,
                 )?;
-                let built = build_hopset(g, &params, opts);
+                let built = build_hopset_on(&exec, g, &params, opts);
                 let hops = built.params.query_hops;
-                Ok::<_, SsspError>((OracleBackend::Plain(built), hops))
+                (OracleBackend::Plain(built), hops)
             }
             Pipeline::Reduced => {
-                let reduced = build_reduced_hopset(g, self.eps, self.kappa, rho, self.mode, opts)?;
+                let reduced =
+                    build_reduced_hopset_on(&exec, g, self.eps, self.kappa, rho, self.mode, opts)?;
                 let hops = reduced.query_hops;
-                Ok((OracleBackend::Reduced(reduced), hops))
+                (OracleBackend::Reduced(reduced), hops)
             }
             Pipeline::Auto => unreachable!("resolved above"),
-        })?;
+        };
 
         // Satellite of the redesign: the union CSR is built exactly once;
         // distances_from / distances_multi / spt all reuse it.
@@ -491,6 +503,7 @@ impl OracleBuilder {
             query_hops,
             paths: self.paths,
             threads: self.threads,
+            exec,
         })
     }
 }
@@ -516,6 +529,8 @@ pub struct Oracle {
     query_hops: usize,
     paths: bool,
     threads: Option<usize>,
+    /// The persistent pool construction ran on and every query runs on.
+    exec: Executor,
 }
 
 impl Oracle {
@@ -532,6 +547,7 @@ impl Oracle {
             paths: false,
             pipeline: Pipeline::Auto,
             threads: None,
+            executor: None,
         }
     }
 
@@ -583,9 +599,16 @@ impl Oracle {
     }
 
     /// The pinned pool thread count, if [`OracleBuilder::threads`] set one
-    /// (`None` = inherit the process-wide resolution at query time).
+    /// (`None` = the oracle captured the process-default executor at build
+    /// time; [`Oracle::executor`] reports the actual pool either way).
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The persistent executor this oracle owns: construction ran on it and
+    /// every query runs on it. Cloning the handle shares the same pool.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The plain-pipeline construction report, if that pipeline backs the
@@ -614,10 +637,10 @@ impl Oracle {
             return Err(SsspError::PathsNotRecorded);
         }
         let view = self.union.view();
-        Ok(scoped_threads(self.threads, || match &self.backend {
-            OracleBackend::Plain(b) => build_spt_on(&view, b, source),
-            OracleBackend::Reduced(r) => build_spt_reduced_on(&view, r, source),
-        }))
+        Ok(match &self.backend {
+            OracleBackend::Plain(b) => build_spt_on(&self.exec, &view, b, source),
+            OracleBackend::Reduced(r) => build_spt_reduced_on(&self.exec, &view, r, source),
+        })
     }
 
     /// Measure the stretch-vs-hop-budget curve of this oracle's `G ∪ H`
@@ -630,9 +653,11 @@ impl Oracle {
         for &s in sources {
             check_source(self.num_vertices(), s)?;
         }
-        Ok(scoped_threads(self.threads, || {
-            crate::eval::stretch_vs_hops_view(&self.union.view(), sources, budgets)
-        }))
+        Ok(crate::eval::stretch_vs_hops_view(
+            &self.union.view(),
+            sources,
+            budgets,
+        ))
     }
 }
 
@@ -662,9 +687,13 @@ impl DistanceOracle for Oracle {
     fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
         check_source(self.num_vertices(), source)?;
         let mut ledger = Ledger::new();
-        let r = scoped_threads(self.threads, || {
-            bford::bellman_ford(&self.union.view(), &[source], self.query_hops, &mut ledger)
-        });
+        let r = bford::bellman_ford(
+            &self.exec,
+            &self.union.view(),
+            &[source],
+            self.query_hops,
+            &mut ledger,
+        );
         Ok((r.dist, ledger))
     }
 
@@ -684,23 +713,25 @@ impl DistanceOracle for Oracle {
         let hops = self.query_hops;
         let explore = |s: VId| {
             let mut ledger = Ledger::new();
-            let r = bford::bellman_ford(&self.union.view(), &[s], hops, &mut ledger);
+            // Inside a cross-source fan-out the per-round primitives
+            // collapse to sequential on the same executor (nested rounds
+            // never spawn or deadlock).
+            let r = bford::bellman_ford(&self.exec, &self.union.view(), &[s], hops, &mut ledger);
             (r.dist, ledger)
         };
-        let per_source: Vec<(Vec<Weight>, Ledger)> = scoped_threads(self.threads, || {
-            let threads = pool::current_threads();
-            if n < pool::PAR_THRESHOLD && sources.len() > 1 && threads > 1 {
-                let bounds = pool::task_bounds(sources.len(), threads);
-                pool::run_chunks(&bounds, |r| {
-                    r.map(|i| explore(sources[i])).collect::<Vec<_>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect()
+        let per_source: Vec<(Vec<Weight>, Ledger)> =
+            if n < pool::PAR_THRESHOLD && sources.len() > 1 && self.exec.effective_threads() > 1 {
+                let bounds = self.exec.task_bounds(sources.len());
+                self.exec
+                    .run_chunks(&bounds, |r| {
+                        r.map(|i| explore(sources[i])).collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
             } else {
                 sources.iter().map(|&s| explore(s)).collect()
-            }
-        });
+            };
         let mut ledger = Ledger::new();
         let mut dist = DistanceMatrix::with_capacity(sources.len(), n);
         for (row, l) in &per_source {
@@ -722,9 +753,13 @@ impl DistanceOracle for Oracle {
             check_source(n, s)?;
         }
         let mut ledger = Ledger::new();
-        let r = scoped_threads(self.threads, || {
-            bford::bellman_ford(&self.union.view(), sources, self.query_hops, &mut ledger)
-        });
+        let r = bford::bellman_ford(
+            &self.exec,
+            &self.union.view(),
+            sources,
+            self.query_hops,
+            &mut ledger,
+        );
         Ok(r.dist)
     }
 }
@@ -740,6 +775,9 @@ pub struct DeltaSteppingOracle {
     graph: Arc<Graph>,
     delta: Weight,
     build_cost: Ledger,
+    /// The persistent pool relaxation rounds run on (process default at
+    /// construction; swap with [`DeltaSteppingOracle::with_executor`]).
+    exec: Executor,
 }
 
 impl DeltaSteppingOracle {
@@ -751,6 +789,7 @@ impl DeltaSteppingOracle {
             graph,
             delta,
             build_cost: Ledger::new(),
+            exec: Executor::current(),
         }
     }
 
@@ -765,7 +804,14 @@ impl DeltaSteppingOracle {
             graph: graph.into(),
             delta,
             build_cost: Ledger::new(),
+            exec: Executor::current(),
         })
+    }
+
+    /// Run queries on an explicit executor (builder-style).
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The bucket width in use.
@@ -793,7 +839,7 @@ impl DistanceOracle for DeltaSteppingOracle {
 
     fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
         check_source(self.num_vertices(), source)?;
-        let r = delta_stepping(&self.graph, source, self.delta);
+        let r = delta_stepping_on(&self.exec, &self.graph, source, self.delta);
         Ok((r.dist, r.ledger))
     }
 }

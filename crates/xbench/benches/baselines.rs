@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgraph::{gen, UnionView};
-use pram::Ledger;
+use pram::{Executor, Ledger};
 use sssp::{DeltaSteppingOracle, DijkstraOracle, DistanceOracle, Oracle};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -31,11 +31,12 @@ fn bench_query_vs_baselines(c: &mut Criterion) {
             b.iter(|| black_box(backend.distances_from(0).unwrap()))
         });
     }
+    let exec = Executor::current();
     group.bench_function("bare-bf-to-convergence", |b| {
         b.iter(|| {
             let view = UnionView::base_only(&g);
             let mut ledger = Ledger::new();
-            black_box(pram::bellman_ford(&view, &[0], n, &mut ledger))
+            black_box(pram::bellman_ford(&exec, &view, &[0], n, &mut ledger))
         })
     });
     group.finish();
@@ -53,11 +54,12 @@ fn bench_bf_round_counts(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("baselines/path-4096-rounds");
     group.sample_size(10);
+    let exec = Executor::current();
     group.bench_function("bare-bf-full-rounds", |b| {
         b.iter(|| {
             let view = UnionView::base_only(&g);
             let mut ledger = Ledger::new();
-            black_box(pram::bellman_ford(&view, &[0], 4096, &mut ledger))
+            black_box(pram::bellman_ford(&exec, &view, &[0], 4096, &mut ledger))
         })
     });
     group.bench_function("hopset-bf-beta-rounds", |b| {

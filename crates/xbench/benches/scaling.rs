@@ -1,14 +1,15 @@
 //! Criterion bench: thread scaling — the wall-clock counterpart of the
-//! PRAM parallelism claims, now running on `pram::pool`'s real scoped
-//! threads (deterministic chunked scheduling). Results are bit-identical
-//! across thread counts (determinism contract, DESIGN.md §5); only the
-//! wall clock changes. On a single-core host the threads timeslice, so
-//! expect flat curves there — the speedup claim needs real cores.
+//! PRAM parallelism claims, running on `pram::pool`'s persistent worker
+//! pool through explicit `Executor` handles (deterministic chunked
+//! scheduling). Results are bit-identical across thread counts
+//! (determinism contract, DESIGN.md §5); only the wall clock changes. On
+//! a single-core host the threads timeslice, so expect flat curves there
+//! — the speedup claim needs real cores.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hopset::{build_hopset, BuildOptions, HopsetParams, ParamMode};
+use hopset::{build_hopset_on, BuildOptions, HopsetParams, ParamMode};
 use pgraph::gen;
-use pram::pool;
+use pram::Executor;
 use std::hint::black_box;
 
 fn bench_thread_scaling(c: &mut Criterion) {
@@ -28,12 +29,11 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/threads-gnm-2048");
     group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| {
-                pool::with_threads(t, || {
-                    black_box(build_hopset(&g, &p, BuildOptions::default()))
-                })
-            })
+        // One persistent pool per bench point, created outside the timing
+        // loop: per-iteration cost is wake + barrier, never spawn.
+        let exec = Executor::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| black_box(build_hopset_on(&exec, &g, &p, BuildOptions::default())))
         });
     }
     group.finish();
@@ -48,9 +48,9 @@ fn bench_query_thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/amssd-threads");
     group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
-        // The builder's `.threads(t)` pins the pool for construction and
-        // every query on this oracle — the serving-system configuration
-        // path (no ambient state needed at query time).
+        // The builder's `.threads(t)` gives the oracle its own persistent
+        // pool for construction and every query — the serving-system
+        // configuration path (no ambient state at any point).
         let oracle = sssp::Oracle::builder(g.clone())
             .eps(0.25)
             .kappa(4)

@@ -3,7 +3,7 @@
 use crate::table::{f, n as fmt_n, Table};
 use crate::Config;
 use hopset::ruling::{ruling_set, RulingTrace};
-use hopset::virtual_bfs::Explorer;
+use hopset::virtual_bfs::{ExploreScratch, Explorer};
 use hopset::{
     build_hopset, BuildOptions, ClusterMemory, HopsetParams, ParamMode, Partition, ScaleParams,
 };
@@ -212,7 +212,9 @@ pub fn f9_knockout(cfg: &Config) {
     let part = Partition::singletons(nn);
     let cm = ClusterMemory::trivial(nn, false);
     let view = UnionView::base_only(&g);
+    let exec = pram::Executor::current();
     let ex = Explorer {
+        exec: &exec,
         view: &view,
         part: &part,
         cm: &cm,
@@ -224,7 +226,13 @@ pub fn f9_knockout(cfg: &Config) {
     let w: Vec<u32> = (0..nn as u32).collect();
     let mut led = Ledger::new();
     let mut trace = RulingTrace::default();
-    let q = ruling_set(&ex, &w, &mut led, Some(&mut trace));
+    let q = ruling_set(
+        &ex,
+        &w,
+        &mut ExploreScratch::new(),
+        &mut led,
+        Some(&mut trace),
+    );
     let mut t = Table::new(&[
         "level (bit)",
         "sources B0",

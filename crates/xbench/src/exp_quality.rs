@@ -8,7 +8,7 @@ use hopset::path_report::validate_spt;
 use hopset::reduction::build_reduced_hopset;
 use hopset::ruling::{ruling_set, verify_ruling};
 use hopset::validate::measure_stretch;
-use hopset::virtual_bfs::Explorer;
+use hopset::virtual_bfs::{ExploreScratch, Explorer};
 use hopset::{build_hopset, BuildOptions, ClusterMemory, HopsetParams, ParamMode, Partition};
 use pgraph::{gen, Graph, UnionView};
 use pram::Ledger;
@@ -49,8 +49,11 @@ pub fn e6_ruling(cfg: &Config) {
         let part = Partition::singletons(g.num_vertices());
         let cm = ClusterMemory::trivial(g.num_vertices(), false);
         let view = UnionView::base_only(g);
+        let exec = pram::Executor::current();
         for &thr in &[1.5f64, 3.0, 6.0] {
+            let mut scratch = ExploreScratch::new();
             let ex = Explorer {
+                exec: &exec,
                 view: &view,
                 part: &part,
                 cm: &cm,
@@ -61,9 +64,15 @@ pub fn e6_ruling(cfg: &Config) {
             };
             let w: Vec<u32> = (0..g.num_vertices() as u32).collect();
             let mut led = Ledger::new();
-            let q = ruling_set(&ex, &w, &mut led, None);
-            let (sep, cover) =
-                verify_ruling(&ex, &q, &w, 4 * pgraph::ceil_log2(nn) as usize, &mut led);
+            let q = ruling_set(&ex, &w, &mut scratch, &mut led, None);
+            let (sep, cover) = verify_ruling(
+                &ex,
+                &q,
+                &w,
+                4 * pgraph::ceil_log2(nn) as usize,
+                &mut scratch,
+                &mut led,
+            );
             t.row(vec![
                 name.to_string(),
                 f(thr),

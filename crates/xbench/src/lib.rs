@@ -13,6 +13,7 @@
 pub mod exp_ablation;
 pub mod exp_core;
 pub mod exp_end;
+pub mod exp_pool;
 pub mod exp_quality;
 pub mod table;
 
@@ -121,6 +122,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "ablation: Theory vs Practical constants",
             exp_ablation::a2_mode,
         ),
+        (
+            "pool-overhead",
+            "runtime: dispatch latency, scoped spawn vs persistent pool",
+            exp_pool::pool_overhead,
+        ),
     ]
 }
 
@@ -135,7 +141,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
     }
 
     #[test]

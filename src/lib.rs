@@ -75,7 +75,7 @@ pub mod prelude {
     pub use hopset::reduction::build_reduced_hopset;
     pub use hopset::{build_hopset, BuildOptions, BuiltHopset, HopsetParams, ParamMode};
     pub use pgraph::{exact, gen, Graph, GraphBuilder, UnionGraph, UnionView, INF};
-    pub use pram::Ledger;
+    pub use pram::{Executor, Ledger};
     pub use sssp::{
         delta_stepping, DeltaSteppingOracle, DijkstraOracle, DistanceMatrix, DistanceOracle,
         MultiSourceResult, Oracle, OracleBuilder, Pipeline, SsspError,

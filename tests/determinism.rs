@@ -1,10 +1,12 @@
 //! Cross-thread-count determinism suite — the contract of `pram::pool`.
 //!
-//! The pool executes every primitive on real scoped threads with fixed
-//! chunk boundaries and order-independent reductions (DESIGN.md §5), which
+//! The persistent worker pool executes every primitive with fixed chunk
+//! boundaries and order-independent reductions (DESIGN.md §5), which
 //! must make the *entire* oracle pipeline — hopset construction, aMSSD
 //! batches, SPT extraction, and the PRAM cost ledger — **bit-identical**
-//! for every thread count. This file runs the full pipeline (plain and
+//! for every thread count (and identical to what the retired scoped-spawn
+//! implementation produced: neither the chunking rule nor any reduction
+//! changed). This file runs the full pipeline (plain and
 //! Klein–Sairam-reduced) at threads ∈ {1, 2, 4, 8} on three graph
 //! families and compares every output against the single-threaded run,
 //! `f64`s by `to_bits` (no epsilon anywhere: identical means identical).
@@ -179,10 +181,10 @@ fn large_bellman_ford_bit_identical_across_thread_counts() {
     let g = gen::gnm_connected(n, 3 * n, 21, 1.0, 9.0);
     let view = UnionView::base_only(&g);
     let mut base_ledger = Ledger::new();
-    let base = pool::with_threads(1, || pram::bellman_ford(&view, &[0], 12, &mut base_ledger));
+    let base = pram::bellman_ford(&Executor::sequential(), &view, &[0], 12, &mut base_ledger);
     for t in [2usize, 4, 8] {
         let mut ledger = Ledger::new();
-        let got = pool::with_threads(t, || pram::bellman_ford(&view, &[0], 12, &mut ledger));
+        let got = pram::bellman_ford(&Executor::shared(t), &view, &[0], 12, &mut ledger);
         assert_rows_bit_identical(&base.dist, &got.dist, &format!("bford threads={t}"));
         assert_eq!(base.parent, got.parent, "bford parents threads={t}");
         assert_eq!(base_ledger, ledger, "bford ledger threads={t}");

@@ -148,7 +148,13 @@ fn reduced_pipeline_end_to_end() {
     let overlay = reduced.hopset.overlay_all();
     let view = UnionView::with_extra(&g, &overlay);
     let mut ledger = Ledger::new();
-    let bf = pram::bellman_ford(&view, &[0], reduced.query_hops, &mut ledger);
+    let bf = pram::bellman_ford(
+        &pram::Executor::current(),
+        &view,
+        &[0],
+        reduced.query_hops,
+        &mut ledger,
+    );
     let exact = exact::dijkstra(&g, 0).dist;
     #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
     for v in 0..40 {
