@@ -24,8 +24,8 @@ use crate::params::{HopsetParams, ScaleParams};
 use crate::partition::{Cluster, ClusterMemory, Partition};
 use crate::store::{EdgeKind, Hopset, HopsetEdge};
 use crate::virtual_bfs::Explorer;
-use pgraph::{Graph, UnionView, VId};
-use pram::Ledger;
+use pgraph::{Graph, OverlayCsrBuilder, UnionView, VId};
+use pram::{scan, Ledger};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,20 +58,29 @@ pub fn build_random_hopset(g: &Graph, params: &HopsetParams, seed: u64) -> Rando
     let lambda = params.lambda(g.aspect_ratio_bound());
     let mut truncations = 0usize;
     let mut eps_prev = 0.0f64;
+    // Same incremental overlay discipline as the deterministic build: one
+    // rolling CSR block per scale, no per-scale edge scan or re-bucket.
+    let mut overlay = OverlayCsrBuilder::rolling(n);
 
     for k in k0..=lambda {
-        let (overlay, extra_ids) = if k == k0 {
-            (Vec::new(), Vec::new())
+        let block = if k == k0 {
+            None
         } else {
-            hopset.overlay_scale(k - 1)
+            let sl = hopset.scale_slice(k - 1);
+            debug_assert_eq!(overlay.num_extra() as u32, sl.start());
+            Some(overlay.append_scale(sl.us(), sl.vs(), sl.ws(), |deg| {
+                scan::exclusive_prefix_sum(&exec, deg, &mut ledger).0
+            }))
         };
-        let view = UnionView::with_extra(g, &overlay);
+        let view = match block {
+            Some(csr) => UnionView::with_csr(g, csr),
+            None => UnionView::base_only(g),
+        };
         let sp = ScaleParams::derive(params, k, eps_prev);
         build_scale(
             &exec,
             g,
             &view,
-            &extra_ids,
             params,
             &sp,
             seed ^ (k as u64).wrapping_mul(0x9e3779b97f4a7c15),
@@ -95,7 +104,6 @@ fn build_scale(
     exec: &Executor,
     g: &Graph,
     view: &UnionView<'_>,
-    extra_ids: &[u32],
     params: &HopsetParams,
     sp: &ScaleParams,
     seed: u64,
@@ -123,7 +131,6 @@ fn build_scale(
             threshold: sp.thresholds[i],
             hop_limit: params.hop_limit,
             record_paths: false,
-            extra_ids,
         };
 
         if i == params.ell {
@@ -156,7 +163,7 @@ fn build_scale(
             .filter(|&c| det[c as usize].is_none())
             .collect();
         for &c in &u_set {
-            if m[c as usize].len() >= x {
+            if m.len_of(c as usize) >= x {
                 *truncations += 1;
             }
         }
@@ -226,7 +233,7 @@ fn build_scale(
 
 fn interconnect_all(
     part: &Partition,
-    m: &[Vec<crate::label::Label>],
+    m: &crate::label::LabelArena,
     u_set: &[u32],
     k: u32,
     phase: usize,
@@ -236,7 +243,7 @@ fn interconnect_all(
     let mut proposals: Vec<(VId, VId, f64)> = Vec::new();
     for &c in u_set {
         let rc = part.center(c);
-        for l in &m[c as usize] {
+        for l in m.labels(c as usize) {
             if l.src == rc || !in_u.contains(&l.src) {
                 continue;
             }
@@ -295,7 +302,7 @@ mod tests {
         let a = build_random_hopset(&g, &p, 7);
         let b = build_random_hopset(&g, &p, 7);
         assert_eq!(a.hopset.len(), b.hopset.len());
-        for (x, y) in a.hopset.edges.iter().zip(&b.hopset.edges) {
+        for (x, y) in a.hopset.iter().zip(b.hopset.iter()) {
             assert_eq!((x.u, x.v), (y.u, y.v));
             assert_eq!(x.w, y.w);
         }

@@ -15,6 +15,10 @@ use crate::path::{MemEdge, MemoryPath};
 use crate::store::{EdgeKind, Hopset, HopsetEdge};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
+// Format invariant: edge records appear grouped by non-decreasing scale —
+// exactly the order the scale-indexed store pushes (and writes) them.
+// `read_hopset` rejects files violating it rather than panicking in `push`.
+
 /// Errors raised while parsing the hopset format.
 #[derive(Debug)]
 pub enum HopsetIoError {
@@ -49,8 +53,8 @@ impl From<std::io::Error> for HopsetIoError {
 /// Serialize a hopset. Weights use `{:e}` round-trippable formatting.
 pub fn write_hopset(h: &Hopset, w: impl Write) -> Result<(), HopsetIoError> {
     let mut out = BufWriter::new(w);
-    writeln!(out, "H {} {}", h.edges.len(), h.paths.len())?;
-    for e in &h.edges {
+    writeln!(out, "H {} {}", h.len(), h.paths.len())?;
+    for e in h.iter() {
         let kind = match e.kind {
             EdgeKind::Supercluster { phase } => format!("S {phase}"),
             EdgeKind::Interconnect { phase } => format!("I {phase}"),
@@ -109,6 +113,7 @@ pub fn read_hopset(r: impl Read) -> Result<Hopset, HopsetIoError> {
         .ok_or_else(|| perr(lineno, "bad path count"))?;
 
     let mut h = Hopset::new();
+    let mut last_scale: Option<u32> = None;
     for _ in 0..ne {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -146,6 +151,10 @@ pub fn read_hopset(r: impl Read) -> Result<Hopset, HopsetIoError> {
         } else {
             Some(path_tok.parse().map_err(|_| perr(lineno, "bad path id"))?)
         };
+        if last_scale.is_some_and(|s| scale < s) {
+            return Err(perr(lineno, "edges must be grouped by ascending scale"));
+        }
+        last_scale = Some(scale);
         h.push(HopsetEdge {
             u,
             v,
@@ -197,7 +206,7 @@ pub fn read_hopset(r: impl Read) -> Result<Hopset, HopsetIoError> {
         h.push_path(mp);
     }
     // Referential integrity.
-    for (i, e) in h.edges.iter().enumerate() {
+    for (i, e) in h.iter().enumerate() {
         if let Some(p) = e.path {
             if p as usize >= h.paths.len() {
                 return Err(perr(
@@ -244,7 +253,7 @@ mod tests {
         assert!(!h.is_empty());
         let h2 = roundtrip(&h);
         assert_eq!(h.len(), h2.len());
-        for (a, b) in h.edges.iter().zip(&h2.edges) {
+        for (a, b) in h.iter().zip(h2.iter()) {
             assert_eq!(
                 (a.u, a.v, a.scale, a.kind, a.path),
                 (b.u, b.v, b.scale, b.kind, b.path)
@@ -277,8 +286,8 @@ mod tests {
         let g = gen::clique_chain(4, 6, 2.0);
         let h = sample_hopset(false);
         let h2 = roundtrip(&h);
-        let v1 = pgraph::UnionView::with_extra(&g, &h.overlay_all());
-        let v2 = pgraph::UnionView::with_extra(&g, &h2.overlay_all());
+        let v1 = pgraph::UnionView::with_extra(&g, &h.all_slice().to_overlay_vec());
+        let v2 = pgraph::UnionView::with_extra(&g, &h2.all_slice().to_overlay_vec());
         let d1 = pgraph::exact::bellman_ford_hops(&v1, &[0], 24);
         let d2 = pgraph::exact::bellman_ford_hops(&v2, &[0], 24);
         assert_eq!(d1, d2);
@@ -301,6 +310,11 @@ mod tests {
         // Dangling path reference.
         assert!(matches!(
             read_hopset("H 1 0\ne 0 1 2e0 3 I 0 5\n".as_bytes()),
+            Err(HopsetIoError::Parse { .. })
+        ));
+        // Scale grouping violated: a typed error, not a store panic.
+        assert!(matches!(
+            read_hopset("H 2 0\ne 0 1 2e0 5 I 0 -\ne 1 2 2e0 3 I 0 -\n".as_bytes()),
             Err(HopsetIoError::Parse { .. })
         ));
     }

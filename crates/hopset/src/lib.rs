@@ -68,11 +68,12 @@ pub mod validate;
 pub mod virtual_bfs;
 
 pub use io::{read_hopset, write_hopset};
+pub use label::{reduce_labels, reduce_labels_in_place, Label, LabelArena};
 pub use multi_scale::{build_hopset, build_hopset_on, BuildOptions, BuiltHopset};
 pub use params::{DeltaSchedule, HopsetParams, ParamError, ParamMode, ScaleParams};
 pub use partition::{Cluster, ClusterMemory, Partition};
 pub use path::{MemEdge, MemoryPath};
 pub use ruling::{ruling_set, RulingTrace};
 pub use single_scale::{PhaseStats, ScaleReport};
-pub use store::{EdgeKind, Hopset, HopsetEdge};
+pub use store::{EdgeKind, Hopset, HopsetEdge, ScaleSlice};
 pub use virtual_bfs::{ExploreScratch, Explorer};

@@ -10,8 +10,8 @@
 use crate::params::{HopsetParams, ScaleParams};
 use crate::single_scale::{build_single_scale, ScaleContext, ScaleReport};
 use crate::store::Hopset;
-use pgraph::{Graph, UnionView};
-use pram::{Executor, Ledger};
+use pgraph::{Graph, OverlayCsrBuilder, UnionView};
+use pram::{scan, Executor, Ledger};
 
 /// A built multi-scale hopset plus everything the experiments report.
 #[derive(Clone, Debug)]
@@ -31,9 +31,11 @@ pub struct BuiltHopset {
 }
 
 impl BuiltHopset {
-    /// Overlay edge list for querying `G ∪ H`.
+    /// Overlay edge list for querying `G ∪ H` (allocates; prefer the
+    /// hopset's zero-copy columns — [`Hopset::all_slice`] — for anything
+    /// hot).
     pub fn overlay(&self) -> Vec<(pgraph::VId, pgraph::VId, pgraph::Weight)> {
-        self.hopset.overlay_all()
+        self.hopset.all_slice().to_overlay_vec()
     }
 
     /// The paper's size bound `⌈log Λ⌉ · n^{1+1/κ}` (eq. (10)) for the
@@ -83,21 +85,37 @@ pub fn build_hopset_on(
     let mut scales = Vec::new();
     let k0 = params.k0();
     let lambda = params.lambda(g.aspect_ratio_bound());
+    // The incremental overlay store: scale k's exploration appends exactly
+    // H_{k-1}'s column slice as one new CSR block (counting-sorted with a
+    // prefix-sum round on `exec`) — earlier scales are never re-bucketed,
+    // no filtered edge copy is ever made, and rolling retention keeps
+    // exactly one block alive (§3.2 reads only the previous scale).
+    let mut overlay = OverlayCsrBuilder::rolling(g.num_vertices());
 
     let mut eps_prev = 0.0f64;
     for k in k0..=lambda {
         // Overlay only the previous scale's edges.
-        let (overlay, extra_ids) = if k == k0 {
-            (Vec::new(), Vec::new())
+        let block = if k == k0 {
+            None
         } else {
-            hopset.overlay_scale(k - 1)
+            let sl = hopset.scale_slice(k - 1);
+            debug_assert_eq!(
+                overlay.num_extra() as u32,
+                sl.start(),
+                "overlay blocks must stay aligned with global edge ids"
+            );
+            Some(overlay.append_scale(sl.us(), sl.vs(), sl.ws(), |deg| {
+                scan::exclusive_prefix_sum(exec, deg, &mut ledger).0
+            }))
         };
-        let view = UnionView::with_extra(g, &overlay);
+        let view = match block {
+            Some(csr) => UnionView::with_csr(g, csr),
+            None => UnionView::base_only(g),
+        };
         let sp = ScaleParams::derive(params, k, eps_prev);
         let ctx = ScaleContext {
             exec,
             view: &view,
-            extra_ids: &extra_ids,
             params,
             sp: &sp,
             record_paths: opts.record_paths,
@@ -230,7 +248,7 @@ mod tests {
         let a = build_hopset(&g, &p, BuildOptions::default());
         let b = build_hopset(&g, &p, BuildOptions::default());
         assert_eq!(a.hopset.len(), b.hopset.len());
-        for (x, y) in a.hopset.edges.iter().zip(&b.hopset.edges) {
+        for (x, y) in a.hopset.iter().zip(b.hopset.iter()) {
             assert_eq!((x.u, x.v, x.scale), (y.u, y.v, y.scale));
             assert_eq!(x.w, y.w);
         }
@@ -258,7 +276,7 @@ mod tests {
         let p = practical_params(&g, 0.25);
         let built = build_hopset(&g, &p, BuildOptions::default());
         // Every hopset edge's weight ≥ exact distance (Lemmas 2.3/2.9).
-        for e in &built.hopset.edges {
+        for e in built.hopset.iter() {
             let exact = dijkstra(&g, e.u).dist[e.v as usize];
             assert!(e.w >= exact - 1e-6);
         }
@@ -277,7 +295,7 @@ mod tests {
         let g = b.build().unwrap();
         let p = practical_params(&g, 0.25);
         let built = build_hopset(&g, &p, BuildOptions::default());
-        for e in &built.hopset.edges {
+        for e in built.hopset.iter() {
             assert_eq!(
                 (e.u < 20),
                 (e.v < 20),

@@ -92,16 +92,17 @@ struct Ptr {
 /// (Algorithm 1). Panics if the hopset was built without
 /// [`crate::BuildOptions::record_paths`].
 pub fn build_spt(g: &Graph, built: &BuiltHopset, source: VId) -> SptResult {
-    let overlay = built.hopset.overlay_all();
-    let view = UnionView::with_extra(g, &overlay);
+    let sl = built.hopset.all_slice();
+    let view = UnionView::with_overlay_columns(g, sl.us(), sl.vs(), sl.ws());
     build_spt_on(&Executor::current(), &view, built, source)
 }
 
 /// Like [`build_spt`], but on an explicit executor and over a pre-built
-/// `G ∪ H` view (whose overlay must be the hopset's
-/// [`Hopset::overlay_all`], so `EdgeTag::Extra(i)` maps to
-/// `hopset.edges[i]`). Long-lived query engines build the view once, own
-/// an executor, and call this per query.
+/// `G ∪ H` view whose overlay covers the whole hopset with global edge
+/// ids (`EdgeTag::Extra(i)` maps to hopset edge `i` — what
+/// [`Hopset::all_slice`]-derived CSRs and `overlay_all` both produce).
+/// Long-lived query engines build the view once, own an executor, and
+/// call this per query.
 pub fn build_spt_on(
     exec: &Executor,
     view: &UnionView<'_>,
@@ -117,8 +118,8 @@ pub fn build_spt_on(
 /// hopset edges, then star edges, then graph edges — realizing the
 /// three-step replacement of §D.2 (Figure 11) in one uniform loop.
 pub fn build_spt_reduced(g: &Graph, reduced: &ReducedHopset, source: VId) -> SptResult {
-    let overlay = reduced.hopset.overlay_all();
-    let view = UnionView::with_extra(g, &overlay);
+    let sl = reduced.hopset.all_slice();
+    let view = UnionView::with_overlay_columns(g, sl.us(), sl.vs(), sl.ws());
     build_spt_reduced_on(&Executor::current(), &view, reduced, source)
 }
 
@@ -142,13 +143,13 @@ fn spt_core(
     query_hops: usize,
 ) -> SptResult {
     assert!(
-        hopset.edges.iter().all(|e| e.path.is_some()),
+        hopset.all_paths_recorded(),
         "path-reporting SPT requires a hopset built with record_paths"
     );
     debug_assert_eq!(
         view.num_extra(),
-        hopset.edges.len(),
-        "view overlay must be the hopset's overlay_all()"
+        hopset.len(),
+        "view overlay must cover the whole hopset (global edge ids)"
     );
     let n = view.num_vertices();
     let mut ledger = Ledger::new();
@@ -175,10 +176,11 @@ fn spt_core(
     // ---- 2. Peeling, scale by scale (Algorithm 1, lines 4-5). The scale
     // set is whatever provenance the hopset carries (plain scales for §2,
     // encoded level/scale pairs for Appendix C/D), in descending order —
-    // memory paths only ever reference strictly smaller scales.
-    let mut scales: Vec<u32> = hopset.edges.iter().map(|e| e.scale).collect();
-    scales.sort_unstable_by(|a, b| b.cmp(a));
-    scales.dedup();
+    // memory paths only ever reference strictly smaller scales. The store
+    // is scale-indexed, so this is its offset table reversed (no edge
+    // scan, no sort).
+    let mut scales: Vec<u32> = hopset.scales_present().collect();
+    scales.reverse();
     let mut peel_stats = Vec::new();
     for k in scales {
         let stats = peel_scale(exec, hopset, k, &mut dist, &mut ptr, &mut ledger);
@@ -257,8 +259,7 @@ fn peel_scale(
     for v in 0..n as u32 {
         let Some(p) = &ptr[v as usize] else { continue };
         let MemEdge::Hop(eidx) = p.link else { continue };
-        let e = &hopset.edges[eidx as usize];
-        if e.scale != k {
+        if hopset.scale_of(eidx) != k {
             continue;
         }
         stats.replaced += 1;

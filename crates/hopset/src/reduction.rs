@@ -299,7 +299,7 @@ fn build_level(
     // tree distances by pointer jumping (Appendix C.3 / §4.2).
     let center_of_label = |l: VId| -> VId { center[index_of_label[&l] as usize] };
     let (tree_parent, tree_weight) =
-        cc::orient_forest(n, g, &forest, center_of_label, &label, ledger);
+        cc::orient_forest(exec, n, g, &forest, center_of_label, &label, ledger);
     let (tree_dist, _roots) =
         jump::pointer_jump_distances(exec, &tree_parent, &tree_weight, ledger);
 
@@ -466,7 +466,7 @@ fn build_and_map_level_hopset(
     // bookkeeping lets memory paths reference mapped lower-scale edges.
     let mut mapped_id: Vec<Option<u32>> = vec![None; built.hopset.len()];
     let mut mapped = 0usize;
-    for (i, e) in built.hopset.edges.iter().enumerate() {
+    for (i, e) in built.hopset.iter().enumerate() {
         if e.scale < min_keep_scale {
             continue;
         }
@@ -550,7 +550,7 @@ fn map_memory_path(
             MemEdge::Hop(j) => {
                 let gid = mapped_id[j as usize]
                     .expect("memory paths reference lower scales, mapped first");
-                let e = &hopset.edges[gid as usize];
+                let e = hopset.edge(gid);
                 let cur = out.end();
                 let nxt = if e.u == cur {
                     e.v
@@ -674,7 +674,7 @@ mod tests {
         )
         .unwrap();
         let mut stars = 0;
-        for (i, e) in r.hopset.edges.iter().enumerate() {
+        for (i, e) in r.hopset.iter().enumerate() {
             if !matches!(e.kind, EdgeKind::Star) {
                 continue;
             }
@@ -750,8 +750,8 @@ mod tests {
             BuildOptions::default(),
         )
         .unwrap();
-        let overlay = r.hopset.overlay_all();
-        let view = UnionView::with_extra(&g, &overlay);
+        let sl = r.hopset.all_slice();
+        let view = UnionView::with_overlay_columns(&g, sl.us(), sl.vs(), sl.ws());
         let cap = r.query_hops.min(32);
         let with = bellman_ford_hops(&view, &[0], cap);
         let exact = dijkstra(&g, 0).dist;

@@ -159,7 +159,6 @@ mod tests {
             threshold,
             hop_limit: 16,
             record_paths: false,
-            extra_ids: &[],
         }
     }
 

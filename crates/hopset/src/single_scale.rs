@@ -27,7 +27,7 @@
 //! asserted — and trivially a real path's weight, so the no-shortcut
 //! guarantee is by construction).
 
-use crate::label::Label;
+use crate::label::{Label, LabelArena};
 use crate::params::{HopsetParams, ParamMode, ScaleParams};
 use crate::partition::{Cluster, ClusterMemory, Partition};
 use crate::path::path_materialize;
@@ -80,10 +80,9 @@ pub struct ScaleReport {
 pub struct ScaleContext<'a> {
     /// The executor every exploration round of the scale runs on.
     pub exec: &'a Executor,
-    /// The exploration graph `G_{k-1} = (V, E ∪ H_{k-1})`.
+    /// The exploration graph `G_{k-1} = (V, E ∪ H_{k-1})`. Overlay entries
+    /// must carry global hopset edge ids (scale-block CSRs do).
     pub view: &'a UnionView<'a>,
-    /// Maps overlay edge index → global hopset edge id.
-    pub extra_ids: &'a [u32],
     /// Global parameters.
     pub params: &'a HopsetParams,
     /// Scale-derived parameters.
@@ -120,7 +119,6 @@ pub fn build_single_scale(
             threshold,
             hop_limit: p.hop_limit,
             record_paths: ctx.record_paths,
-            extra_ids: ctx.extra_ids,
         };
         let n_clusters = part.len();
         if n_clusters == 0 {
@@ -159,7 +157,7 @@ pub fn build_single_scale(
         let x = deg_i + 1;
         let m = ex.detect_neighbors(x, &mut scratch, ledger);
         let popular: Vec<u32> = (0..n_clusters as u32)
-            .filter(|&c| m[c as usize].len() >= x)
+            .filter(|&c| m.len_of(c as usize) >= x)
             .collect();
 
         // ---- 2. Ruling set over the popular clusters.
@@ -217,7 +215,7 @@ fn interconnect(
     ctx: &ScaleContext<'_>,
     hopset: &mut Hopset,
     part: &Partition,
-    m: &[Vec<Label>],
+    m: &LabelArena,
     u_set: &[u32],
     phase: usize,
     violations: &mut usize,
@@ -229,7 +227,7 @@ fn interconnect(
     let mut proposals: Vec<(VId, VId, Weight, Option<&Label>)> = Vec::new();
     for &c in u_set {
         let rc = part.center(c);
-        for l in &m[c as usize] {
+        for l in m.labels(c as usize) {
             if l.src == rc || !in_u.contains(&l.src) {
                 continue;
             }
@@ -396,7 +394,6 @@ mod tests {
         let ctx = ScaleContext {
             exec: &exec,
             view: &view,
-            extra_ids: &[],
             params: &p,
             sp: &sp,
             record_paths: false,
@@ -426,7 +423,6 @@ mod tests {
         let ctx = ScaleContext {
             exec: &exec,
             view: &view,
-            extra_ids: &[],
             params: &p,
             sp: &sp,
             record_paths: false,
@@ -436,7 +432,7 @@ mod tests {
         let report = build_single_scale(&ctx, &mut h, &mut led);
         assert_eq!(report.weight_bound_violations, 0);
         // All edges must connect distinct vertices with positive weights.
-        for e in &h.edges {
+        for e in h.iter() {
             assert_ne!(e.u, e.v);
             assert!(e.w > 0.0);
         }
@@ -451,7 +447,6 @@ mod tests {
         let ctx = ScaleContext {
             exec: &exec,
             view: &view,
-            extra_ids: &[],
             params: &p,
             sp: &sp,
             record_paths: false,
@@ -460,7 +455,7 @@ mod tests {
         let mut led = Ledger::new();
         let report = build_single_scale(&ctx, &mut h, &mut led);
         assert_eq!(report.weight_bound_violations, 0);
-        for e in &h.edges {
+        for e in h.iter() {
             let exact = pgraph::exact::dijkstra(&g, e.u).dist[e.v as usize];
             assert!(
                 e.w >= exact - 1e-6,
@@ -482,7 +477,6 @@ mod tests {
         let ctx = ScaleContext {
             exec: &exec,
             view: &view,
-            extra_ids: &[],
             params: &p,
             sp: &sp,
             record_paths: true,
@@ -491,7 +485,7 @@ mod tests {
         let mut led = Ledger::new();
         let report = build_single_scale(&ctx, &mut h, &mut led);
         assert!(report.edges_added > 0);
-        for (i, e) in h.edges.iter().enumerate() {
+        for (i, e) in h.iter().enumerate() {
             let mp = h.path_of(i as u32).expect("paths recorded");
             // Path endpoints match the edge (in either orientation).
             let ends = (mp.start().min(mp.end()), mp.start().max(mp.end()));
@@ -516,7 +510,6 @@ mod tests {
         let ctx = ScaleContext {
             exec: &exec,
             view: &view,
-            extra_ids: &[],
             params: &p,
             sp: &sp,
             record_paths: false,
@@ -528,7 +521,7 @@ mod tests {
             report.weight_bound_violations, 0,
             "pw must stay within formula bounds"
         );
-        for e in &h.edges {
+        for e in h.iter() {
             match e.kind {
                 EdgeKind::Supercluster { phase } => {
                     assert!((e.w - sp.supercluster_weights[phase as usize]).abs() < 1e-9);
@@ -550,7 +543,6 @@ mod tests {
         let ctx = ScaleContext {
             exec: &exec,
             view: &view,
-            extra_ids: &[],
             params: &p,
             sp: &sp,
             record_paths: false,
@@ -562,7 +554,7 @@ mod tests {
         build_single_scale(&ctx, &mut h1, &mut l1);
         build_single_scale(&ctx, &mut h2, &mut l2);
         assert_eq!(h1.len(), h2.len());
-        for (a, b) in h1.edges.iter().zip(&h2.edges) {
+        for (a, b) in h1.iter().zip(h2.iter()) {
             assert_eq!((a.u, a.v, a.scale), (b.u, b.v, b.scale));
             assert_eq!(a.w, b.w);
         }
@@ -580,7 +572,6 @@ mod tests {
         let ctx = ScaleContext {
             exec: &exec,
             view: &view,
-            extra_ids: &[],
             params: &p,
             sp: &sp,
             record_paths: false,

@@ -1,4 +1,26 @@
 //! The hopset edge store, with per-edge provenance and optional memory paths.
+//!
+//! Layout: a **scale-indexed structure of arrays**. Edge fields live in
+//! flat parallel columns (`u`, `v`, `w`, `scale`, `kind`, `path`), and
+//! edges are pushed in non-decreasing scale order (asserted), so the edges
+//! of each scale occupy one contiguous index range recorded in a sparse
+//! `scale_starts` offset table. The consequences, which the construction
+//! hot path relies on (DESIGN.md §8):
+//!
+//! * [`Hopset::scale_slice`] / [`Hopset::all_slice`] are **zero-copy**
+//!   column slices ([`ScaleSlice`]) — no per-scale `O(|H|)` scan, no
+//!   filtered copies;
+//! * the global edge ids of scale `k` are exactly
+//!   `slice.start()..slice.start() + slice.len()`, so overlay CSR blocks
+//!   built from a slice tag adjacency entries with the true hopset edge id
+//!   (no side-table from overlay index to edge id);
+//! * [`Hopset::size_by_scale`] and the peeling scale list
+//!   ([`Hopset::scales_present`]) are offset arithmetic over
+//!   `scale_starts`; [`Hopset::kind_counts`] is a running tally.
+//!
+//! The AoS record type [`HopsetEdge`] remains the unit of [`Hopset::push`]
+//! and [`Hopset::edge`] — a `Copy` value assembled from (or scattered into)
+//! the columns at the boundary.
 
 use crate::path::MemoryPath;
 use pgraph::{VId, Weight};
@@ -23,8 +45,9 @@ pub enum EdgeKind {
     Star,
 }
 
-/// One hopset edge.
-#[derive(Clone, Debug)]
+/// One hopset edge, as a value (the push/read record of the columnar
+/// [`Hopset`]).
+#[derive(Clone, Copy, Debug)]
 pub struct HopsetEdge {
     /// One endpoint.
     pub u: VId,
@@ -41,12 +64,100 @@ pub struct HopsetEdge {
     pub path: Option<u32>,
 }
 
-/// The accumulated hopset `H = ⋃_k H_k`.
+/// Column sentinel for "no memory path recorded".
+const NO_PATH: u32 = u32::MAX;
+
+/// A zero-copy view of one contiguous scale range of a [`Hopset`]: borrowed
+/// column slices plus the global id of the first edge. This is what the
+/// per-scale overlay of the construction consumes — `iter()` for edge
+/// triples, `us()`/`vs()`/`ws()` for direct column access (e.g.
+/// [`pgraph::OverlayCsrBuilder::append_scale`]), `start()` to translate a
+/// slice-local index back to a global edge id.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleSlice<'a> {
+    us: &'a [VId],
+    vs: &'a [VId],
+    ws: &'a [Weight],
+    start: u32,
+}
+
+impl<'a> ScaleSlice<'a> {
+    /// Number of edges in the slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.us.len()
+    }
+
+    /// True if the slice covers no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.us.is_empty()
+    }
+
+    /// Global edge id of the slice's first edge (the ids are
+    /// `start()..start() + len()`); for an empty slice, the id the scale's
+    /// first edge would have.
+    #[inline]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Global edge id of slice-local edge `i`.
+    #[inline]
+    pub fn global_id(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len());
+        self.start + i as u32
+    }
+
+    /// The `u` endpoint column.
+    #[inline]
+    pub fn us(&self) -> &'a [VId] {
+        self.us
+    }
+
+    /// The `v` endpoint column.
+    #[inline]
+    pub fn vs(&self) -> &'a [VId] {
+        self.vs
+    }
+
+    /// The weight column.
+    #[inline]
+    pub fn ws(&self) -> &'a [Weight] {
+        self.ws
+    }
+
+    /// Iterate the slice's `(u, v, w)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (VId, VId, Weight)> + 'a {
+        let (us, vs, ws) = (self.us, self.vs, self.ws);
+        (0..us.len()).map(move |i| (us[i], vs[i], ws[i]))
+    }
+
+    /// Materialize the slice as an overlay edge list — the compatibility
+    /// helper for call sites that genuinely need an owned list (e.g.
+    /// [`pgraph::UnionView::with_extra`] in tests). Hot paths use the
+    /// columns directly instead.
+    pub fn to_overlay_vec(&self) -> Vec<(VId, VId, Weight)> {
+        self.iter().collect()
+    }
+}
+
+/// The accumulated hopset `H = ⋃_k H_k` in scale-indexed SoA layout (see
+/// the module docs for the layout contract).
 #[derive(Clone, Debug, Default)]
 pub struct Hopset {
-    /// All edges, grouped by ascending scale (edges of scale `k` are
-    /// contiguous and their memory paths reference only lower scales).
-    pub edges: Vec<HopsetEdge>,
+    us: Vec<VId>,
+    vs: Vec<VId>,
+    ws: Vec<Weight>,
+    scales: Vec<u32>,
+    kinds: Vec<EdgeKind>,
+    /// Path arena index per edge, [`NO_PATH`] when absent.
+    path_ids: Vec<u32>,
+    /// `(scale, first edge index)` per distinct scale, both strictly
+    /// ascending — the offset table behind every per-scale query.
+    scale_starts: Vec<(u32, u32)>,
+    /// Running (supercluster, interconnect, star) tally.
+    kind_tally: [usize; 3],
     /// Memory-path arena (§4.1's arrays `A(u, v)`).
     pub paths: Vec<MemoryPath>,
 }
@@ -59,67 +170,187 @@ impl Hopset {
 
     /// Number of edges.
     pub fn len(&self) -> usize {
-        self.edges.len()
+        self.us.len()
     }
 
     /// True if no edges.
     pub fn is_empty(&self) -> bool {
-        self.edges.is_empty()
+        self.us.is_empty()
+    }
+
+    /// The `u` endpoint column.
+    #[inline]
+    pub fn us(&self) -> &[VId] {
+        &self.us
+    }
+
+    /// The `v` endpoint column.
+    #[inline]
+    pub fn vs(&self) -> &[VId] {
+        &self.vs
+    }
+
+    /// The weight column.
+    #[inline]
+    pub fn ws(&self) -> &[Weight] {
+        &self.ws
+    }
+
+    /// The scale column (non-decreasing by the push contract).
+    #[inline]
+    pub fn scales(&self) -> &[u32] {
+        &self.scales
+    }
+
+    /// The kind column.
+    #[inline]
+    pub fn kinds(&self) -> &[EdgeKind] {
+        &self.kinds
+    }
+
+    /// Edge `i`, assembled from the columns.
+    #[inline]
+    pub fn edge(&self, i: u32) -> HopsetEdge {
+        let i = i as usize;
+        HopsetEdge {
+            u: self.us[i],
+            v: self.vs[i],
+            w: self.ws[i],
+            scale: self.scales[i],
+            kind: self.kinds[i],
+            path: self.path_id(i as u32),
+        }
+    }
+
+    /// The scale of edge `i` (a column read — the peeling inner loop's
+    /// query).
+    #[inline]
+    pub fn scale_of(&self, i: u32) -> u32 {
+        self.scales[i as usize]
+    }
+
+    /// The path arena index of edge `i`, if recorded.
+    #[inline]
+    pub fn path_id(&self, i: u32) -> Option<u32> {
+        match self.path_ids[i as usize] {
+            NO_PATH => None,
+            p => Some(p),
+        }
+    }
+
+    /// Iterate all edges as values, in global id order.
+    pub fn iter(&self) -> impl Iterator<Item = HopsetEdge> + '_ {
+        (0..self.len() as u32).map(|i| self.edge(i))
+    }
+
+    /// Zero-copy slice covering every edge (global ids `0..len`).
+    pub fn all_slice(&self) -> ScaleSlice<'_> {
+        ScaleSlice {
+            us: &self.us,
+            vs: &self.vs,
+            ws: &self.ws,
+            start: 0,
+        }
+    }
+
+    /// Zero-copy slice of scale `k`'s edges: a binary search in the
+    /// `scale_starts` offset table plus column slicing — no edge scan. For
+    /// a scale with no edges the slice is empty and `start()` reports the
+    /// id its first edge would have (the insertion point), so cumulative
+    /// consumers (e.g. an overlay builder appending scales in order) stay
+    /// aligned with the global ids.
+    pub fn scale_slice(&self, k: u32) -> ScaleSlice<'_> {
+        let idx = self.scale_starts.partition_point(|&(s, _)| s < k);
+        let (lo, hi) = match self.scale_starts.get(idx) {
+            Some(&(s, st)) if s == k => {
+                let end = self
+                    .scale_starts
+                    .get(idx + 1)
+                    .map_or(self.len() as u32, |&(_, st2)| st2);
+                (st, end)
+            }
+            Some(&(_, st)) => (st, st),
+            None => (self.len() as u32, self.len() as u32),
+        };
+        ScaleSlice {
+            us: &self.us[lo as usize..hi as usize],
+            vs: &self.vs[lo as usize..hi as usize],
+            ws: &self.ws[lo as usize..hi as usize],
+            start: lo,
+        }
+    }
+
+    /// The distinct scales present, ascending — offset-table arithmetic
+    /// (peeling iterates this reversed).
+    pub fn scales_present(&self) -> impl Iterator<Item = u32> + '_ {
+        self.scale_starts.iter().map(|&(s, _)| s)
     }
 
     /// All edges as an overlay list for [`pgraph::UnionView`]; the overlay
     /// index of edge `i` is exactly `i`, so `EdgeTag::Extra(i)` maps back to
-    /// `self.edges[i]`.
+    /// edge `i`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates a triple list; use `all_slice()` (zero-copy columns) or \
+                `all_slice().to_overlay_vec()` where an owned list is genuinely needed"
+    )]
     pub fn overlay_all(&self) -> Vec<(VId, VId, Weight)> {
-        self.edges.iter().map(|e| (e.u, e.v, e.w)).collect()
+        self.all_slice().to_overlay_vec()
     }
 
-    /// The edges of a single scale `k` as an overlay list, plus the global
-    /// index of each overlay entry (to translate `EdgeTag::Extra` back).
-    pub fn overlay_scale(&self, k: u32) -> (Vec<(VId, VId, Weight)>, Vec<u32>) {
-        let mut overlay = Vec::new();
-        let mut ids = Vec::new();
-        for (i, e) in self.edges.iter().enumerate() {
-            if e.scale == k {
-                overlay.push((e.u, e.v, e.w));
-                ids.push(i as u32);
-            }
-        }
-        (overlay, ids)
-    }
-
-    /// Number of edges per scale, ascending by scale.
+    /// Number of edges per scale, ascending by scale — consecutive-offset
+    /// differences, no edge scan.
     pub fn size_by_scale(&self) -> Vec<(u32, usize)> {
-        let mut counts: Vec<(u32, usize)> = Vec::new();
-        for e in &self.edges {
-            match counts.iter_mut().find(|(k, _)| *k == e.scale) {
-                Some((_, c)) => *c += 1,
-                None => counts.push((e.scale, 1)),
-            }
+        let mut out = Vec::with_capacity(self.scale_starts.len());
+        for (i, &(s, st)) in self.scale_starts.iter().enumerate() {
+            let end = self
+                .scale_starts
+                .get(i + 1)
+                .map_or(self.len() as u32, |&(_, st2)| st2);
+            out.push((s, (end - st) as usize));
         }
-        counts.sort_unstable();
-        counts
+        out
     }
 
-    /// Count edges by kind: (supercluster, interconnect, star).
+    /// Count edges by kind: (supercluster, interconnect, star) — a running
+    /// tally maintained by [`Hopset::push`].
     pub fn kind_counts(&self) -> (usize, usize, usize) {
-        let mut s = 0;
-        let mut i = 0;
-        let mut st = 0;
-        for e in &self.edges {
-            match e.kind {
-                EdgeKind::Supercluster { .. } => s += 1,
-                EdgeKind::Interconnect { .. } => i += 1,
-                EdgeKind::Star => st += 1,
-            }
-        }
-        (s, i, st)
+        (self.kind_tally[0], self.kind_tally[1], self.kind_tally[2])
+    }
+
+    /// True when every edge carries a memory path (the path-reporting SPT
+    /// precondition).
+    pub fn all_paths_recorded(&self) -> bool {
+        self.path_ids.iter().all(|&p| p != NO_PATH)
     }
 
     /// Append an edge, returning its global index.
+    ///
+    /// Panics if `e.scale` is smaller than the last pushed scale: the
+    /// scale-contiguity invariant (edges of a scale form one index range)
+    /// is what makes every per-scale query offset arithmetic, and every
+    /// construction in this workspace naturally pushes scales in ascending
+    /// order.
     pub fn push(&mut self, e: HopsetEdge) -> u32 {
-        let id = self.edges.len() as u32;
-        self.edges.push(e);
+        let id = self.us.len() as u32;
+        match self.scale_starts.last() {
+            Some(&(s, _)) if e.scale < s => {
+                panic!("hopset edges must be pushed in non-decreasing scale order (scale {} after {s})", e.scale)
+            }
+            Some(&(s, _)) if e.scale == s => {}
+            _ => self.scale_starts.push((e.scale, id)),
+        }
+        self.us.push(e.u);
+        self.vs.push(e.v);
+        self.ws.push(e.w);
+        self.scales.push(e.scale);
+        self.kinds.push(e.kind);
+        self.path_ids.push(e.path.unwrap_or(NO_PATH));
+        self.kind_tally[match e.kind {
+            EdgeKind::Supercluster { .. } => 0,
+            EdgeKind::Interconnect { .. } => 1,
+            EdgeKind::Star => 2,
+        }] += 1;
         id
     }
 
@@ -132,9 +363,7 @@ impl Hopset {
 
     /// The memory path of edge `edge_idx`, if recorded.
     pub fn path_of(&self, edge_idx: u32) -> Option<&MemoryPath> {
-        self.edges[edge_idx as usize]
-            .path
-            .map(|p| &self.paths[p as usize])
+        self.path_id(edge_idx).map(|p| &self.paths[p as usize])
     }
 }
 
@@ -155,15 +384,34 @@ mod tests {
     }
 
     #[test]
-    fn overlay_index_identity() {
+    fn slices_are_offset_arithmetic() {
         let mut h = Hopset::new();
         h.push(edge(0, 1, 2.0, 3));
         h.push(edge(1, 2, 4.0, 4));
-        let all = h.overlay_all();
-        assert_eq!(all, vec![(0, 1, 2.0), (1, 2, 4.0)]);
-        let (ov, ids) = h.overlay_scale(4);
-        assert_eq!(ov, vec![(1, 2, 4.0)]);
-        assert_eq!(ids, vec![1]);
+        h.push(edge(2, 3, 5.0, 4));
+        h.push(edge(3, 4, 6.0, 7));
+        let all = h.all_slice();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.start(), 0);
+        assert_eq!(
+            all.to_overlay_vec(),
+            vec![(0, 1, 2.0), (1, 2, 4.0), (2, 3, 5.0), (3, 4, 6.0)]
+        );
+        let s4 = h.scale_slice(4);
+        assert_eq!(s4.start(), 1);
+        assert_eq!(s4.len(), 2);
+        assert_eq!(s4.global_id(1), 2);
+        assert_eq!(s4.us(), &[1, 2]);
+        assert_eq!(s4.vs(), &[2, 3]);
+        assert_eq!(s4.ws(), &[4.0, 5.0]);
+        // Absent scales: empty slice at the insertion point.
+        assert!(h.scale_slice(2).is_empty());
+        assert_eq!(h.scale_slice(2).start(), 0);
+        let s5 = h.scale_slice(5);
+        assert!(s5.is_empty());
+        assert_eq!(s5.start(), 3, "between scale 4 and scale 7");
+        assert_eq!(h.scale_slice(9).start(), 4, "past the last scale");
+        assert_eq!(h.scales_present().collect::<Vec<_>>(), vec![3, 4, 7]);
     }
 
     #[test]
@@ -190,6 +438,17 @@ mod tests {
         assert_eq!(h.size_by_scale(), vec![(3, 2), (4, 2)]);
         assert_eq!(h.kind_counts(), (1, 2, 1));
         assert_eq!(h.len(), 4);
+        let e = h.edge(2);
+        assert_eq!((e.u, e.v, e.scale), (1, 2, 4));
+        assert!(matches!(e.kind, EdgeKind::Supercluster { phase: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing scale order")]
+    fn out_of_order_scale_push_rejected() {
+        let mut h = Hopset::new();
+        h.push(edge(0, 1, 1.0, 5));
+        h.push(edge(1, 2, 1.0, 4));
     }
 
     #[test]
@@ -212,13 +471,32 @@ mod tests {
         assert_eq!(p.end(), 1);
         assert!((p.weight() - 3.0).abs() < 1e-12);
         assert_eq!(h.path_of(eid).unwrap().len(), 2);
+        assert!(h.all_paths_recorded());
+        h.push(edge(0, 2, 1.0, 6));
+        assert!(!h.all_paths_recorded());
     }
 
     #[test]
     fn empty_hopset() {
         let h = Hopset::new();
         assert!(h.is_empty());
-        assert!(h.overlay_all().is_empty());
+        assert!(h.all_slice().is_empty());
+        assert!(h.scale_slice(3).is_empty());
         assert!(h.size_by_scale().is_empty());
+        assert_eq!(h.scales_present().count(), 0);
+    }
+
+    #[test]
+    fn iter_matches_edge_accessor() {
+        let mut h = Hopset::new();
+        h.push(edge(0, 1, 2.0, 3));
+        h.push(edge(1, 2, 4.0, 4));
+        let collected: Vec<HopsetEdge> = h.iter().collect();
+        assert_eq!(collected.len(), 2);
+        for (i, e) in collected.iter().enumerate() {
+            let f = h.edge(i as u32);
+            assert_eq!((e.u, e.v, e.scale, e.path), (f.u, f.v, f.scale, f.path));
+            assert_eq!(e.w.to_bits(), f.w.to_bits());
+        }
     }
 }

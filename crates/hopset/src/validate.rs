@@ -38,8 +38,8 @@ pub fn measure_stretch(
     sources: &[u32],
     query_hops: usize,
 ) -> StretchReport {
-    let overlay = hopset.overlay_all();
-    let view = UnionView::with_extra(g, &overlay);
+    let sl = hopset.all_slice();
+    let view = UnionView::with_overlay_columns(g, sl.us(), sl.vs(), sl.ws());
     let mut rep = StretchReport {
         max_stretch: 1.0,
         ..Default::default()
@@ -86,13 +86,13 @@ pub fn find_shortcut_violations(g: &Graph, hopset: &Hopset) -> Vec<(u32, Weight,
     let mut bad = Vec::new();
     // Group by source endpoint to reuse Dijkstra runs.
     let mut by_u: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
-    for (i, e) in hopset.edges.iter().enumerate() {
+    for (i, e) in hopset.iter().enumerate() {
         by_u.entry(e.u).or_default().push(i as u32);
     }
     for (u, ids) in by_u {
         let d = dijkstra(g, u).dist;
         for i in ids {
-            let e = &hopset.edges[i as usize];
+            let e = hopset.edge(i);
             let exact = d[e.v as usize];
             if e.w < exact - 1e-6 * exact.max(1.0) {
                 bad.push((i, e.w, exact));
@@ -152,7 +152,7 @@ pub enum MemoryPathError {
 /// hopset. Empty result = all good.
 pub fn check_memory_paths(g: &Graph, hopset: &Hopset) -> Vec<MemoryPathError> {
     let mut errs = Vec::new();
-    for (i, e) in hopset.edges.iter().enumerate() {
+    for (i, e) in hopset.iter().enumerate() {
         let i = i as u32;
         let Some(mp) = hopset.path_of(i) else {
             errs.push(MemoryPathError::Missing { edge: i });
@@ -186,10 +186,11 @@ pub fn check_memory_paths(g: &Graph, hopset: &Hopset) -> Vec<MemoryPathError> {
                     }
                 },
                 crate::path::MemEdge::Hop(j) => {
-                    let Some(ref_edge) = hopset.edges.get(j as usize) else {
+                    if (j as usize) >= hopset.len() {
                         errs.push(MemoryPathError::LinkMismatch { edge: i, pos });
                         continue;
-                    };
+                    }
+                    let ref_edge = hopset.edge(j);
                     if ref_edge.scale >= e.scale {
                         errs.push(MemoryPathError::ScaleOrder { edge: i, pos });
                     }

@@ -19,14 +19,24 @@
 //! Execution: the explorer carries an explicit [`Executor`] handle (the
 //! persistent pool of `pram::pool`); every propagation step is one parallel
 //! round on it. Callers also pass an [`ExploreScratch`] down with the
-//! executor: the per-pulse label table and changed-flag arrays live there
-//! and are reused across pulses, ruling-set levels, and phases instead of
-//! being reallocated every pulse (a construction runs thousands of them).
+//! executor: the label table is a flat [`LabelArena`] (one `n·x` slot
+//! buffer + length array — see DESIGN.md §8) and the changed-flag double
+//! buffer lives beside it, both reused across pulses, ruling-set levels,
+//! and phases. The pulse inner loop allocates **nothing per vertex**: each
+//! parallel chunk reuses one candidate buffer, [`reduce_labels_in_place`]
+//! sorts it without copying, and reduced lists are written back into the
+//! arena's fixed per-vertex regions.
+//!
+//! Edge provenance: overlay adjacency entries carry **global** hopset edge
+//! ids directly (the scale-block CSRs of `pgraph::OverlayCsrBuilder` tag
+//! them so), which is what [`crate::path::MemEdge::Hop`] records — no
+//! overlay-to-global side table.
 //!
 //! Determinism: every per-vertex/per-cluster reduction uses the total order
-//! of Algorithm 3 (see [`crate::label::reduce_labels`]); propagation is
-//! double-buffered (reads see only the previous step — the CREW discipline
-//! of §1.5.1), so results are identical for any thread count.
+//! of Algorithm 3 (see [`crate::label::reduce_labels_in_place`]);
+//! propagation is double-buffered (reads see only the previous step — the
+//! CREW discipline of §1.5.1), so results are identical for any thread
+//! count.
 //!
 //! Early exit: propagation stops once no label list changes. This computes
 //! the fixpoint `d^{(h*)}` for some `h* ≤` the hop budget; allowing *more*
@@ -36,22 +46,25 @@
 //! stretch analysis only needs recorded distances to be realizable, which
 //! fixpoint distances are. (The hop budget still caps every exploration.)
 
-use crate::label::{labels_equal, reduce_labels, Label};
+use crate::label::{labels_equal, reduce_labels_in_place, Label, LabelArena};
 use crate::partition::{ClusterMemory, Partition};
 use crate::path::{path_extend, path_splice, path_start, MemEdge, PathHandle};
 use pgraph::{EdgeTag, UnionView, VId, Weight};
 use pram::{prim, Executor, Ledger};
 
-/// Caller-owned scratch for the exploration engine: the per-pulse label
-/// table and the double-buffered changed flags. One instance serves any
-/// number of [`Explorer::detect_neighbors`] / [`Explorer::bfs`] calls (on
-/// graphs of any size — buffers are resized on demand and retain their
-/// allocations), so the hot construction loop allocates these once per
-/// scale instead of once per pulse.
+/// Length sentinel for "vertex not recomputed this step".
+const SKIP: u32 = u32::MAX;
+
+/// Caller-owned scratch for the exploration engine: the flat label arena
+/// and the double-buffered changed flags. One instance serves any number of
+/// [`Explorer::detect_neighbors`] / [`Explorer::bfs`] calls (on graphs of
+/// any size — buffers are resized on demand and retain their allocations),
+/// so the hot construction loop allocates these once per scale instead of
+/// once per pulse.
 #[derive(Default)]
 pub struct ExploreScratch {
-    /// `labels[v]`: up to `x` records sorted by `(dist, src)`.
-    labels: Vec<Vec<Label>>,
+    /// `labels.labels(v)`: up to `x` records sorted by `(dist, src)`.
+    labels: LabelArena,
     /// Vertices whose label list changed in the previous step.
     changed: Vec<bool>,
     /// Write buffer for the current step's changed flags.
@@ -64,13 +77,10 @@ impl ExploreScratch {
         Self::default()
     }
 
-    /// Clear to the all-empty state for `n` vertices, keeping allocations.
-    fn reset(&mut self, n: usize) {
-        self.labels.truncate(n);
-        for l in &mut self.labels {
-            l.clear();
-        }
-        self.labels.resize_with(n, Vec::new);
+    /// Clear to the all-empty state for `n` lists of capacity `x`, keeping
+    /// allocations.
+    fn reset(&mut self, n: usize, x: usize) {
+        self.labels.reset(n, x);
         self.changed.clear();
         self.changed.resize(n, false);
         self.next_changed.clear();
@@ -82,7 +92,9 @@ impl ExploreScratch {
 pub struct Explorer<'a> {
     /// The executor the propagation rounds run on.
     pub exec: &'a Executor,
-    /// The exploration graph `G_{k-1}`.
+    /// The exploration graph `G_{k-1}`. Overlay entries must carry global
+    /// hopset edge ids in their [`EdgeTag::Extra`] tags (scale-block CSRs
+    /// and `overlay_all`-shaped views both do).
     pub view: &'a UnionView<'a>,
     /// The clusters `P_i`.
     pub part: &'a Partition,
@@ -94,9 +106,6 @@ pub struct Explorer<'a> {
     pub hop_limit: usize,
     /// Record realized paths (path-reporting mode, §4.3).
     pub record_paths: bool,
-    /// Maps overlay edge index → global hopset edge id (for path
-    /// provenance); empty when the overlay is empty.
-    pub extra_ids: &'a [u32],
 }
 
 /// Result of the BFS variant for one cluster.
@@ -118,7 +127,7 @@ impl<'a> Explorer<'a> {
     fn mem_edge(&self, tag: EdgeTag) -> MemEdge {
         match tag {
             EdgeTag::Base => MemEdge::Base,
-            EdgeTag::Extra(i) => MemEdge::Hop(self.extra_ids[i as usize]),
+            EdgeTag::Extra(i) => MemEdge::Hop(i),
         }
     }
 
@@ -182,7 +191,10 @@ impl<'a> Explorer<'a> {
 
     /// Propagate `scratch.labels` to a fixpoint (≤ `hop_limit` steps),
     /// each step one parallel round on `self.exec`. The changed-flag
-    /// double buffer lives in the scratch too — no per-step allocation.
+    /// double buffer lives in the scratch too. Per step, each chunk
+    /// produces one flat `(lens, labels)` buffer pair (no per-vertex
+    /// vectors), which is then compared against — and moved into — the
+    /// arena's fixed regions in vertex order.
     fn propagate(&self, scratch: &mut ExploreScratch, x: usize, ledger: &mut Ledger) {
         let n = self.view.num_vertices();
         let ExploreScratch {
@@ -190,62 +202,84 @@ impl<'a> Explorer<'a> {
             changed,
             next_changed,
         } = scratch;
-        debug_assert_eq!(labels.len(), n);
-        for (c, l) in changed.iter_mut().zip(labels.iter()) {
-            *c = !l.is_empty();
+        debug_assert_eq!(labels.num_lists(), n);
+        for (v, c) in changed.iter_mut().enumerate() {
+            *c = labels.len_of(v) > 0;
         }
         for _step in 0..self.hop_limit {
             if !changed.iter().any(|&c| c) {
                 break;
             }
             self.charge_step(x, ledger);
-            let prev = &*labels;
+            let bounds = self.exec.round_bounds(n);
+            let cur = &*labels;
             let prev_changed = &*changed;
-            // Recompute v iff some neighbor changed last step.
-            let next: Vec<Option<Vec<Label>>> = prim::par_map_range(self.exec, n, |v| {
-                let vid = v as VId;
-                let mut any = false;
-                self.view.for_each_neighbor(vid, |u, _, _| {
-                    any |= prev_changed[u as usize];
-                });
-                if !any {
-                    return None;
-                }
-                let mut cands: Vec<Label> = prev[v].clone();
-                self.view.for_each_neighbor(vid, |u, w, tag| {
-                    for l in &prev[u as usize] {
-                        let nd = l.dist + w;
-                        if nd > self.threshold {
-                            continue;
-                        }
-                        cands.push(Label {
-                            src: l.src,
-                            dist: nd,
-                            pw: l.pw + w,
-                            path: if self.record_paths {
-                                Some(path_extend(
-                                    l.path.as_ref().expect("path recorded"),
-                                    vid,
-                                    self.mem_edge(tag),
-                                    w,
-                                ))
-                            } else {
-                                None
-                            },
-                        });
+            // Recompute v iff some neighbor changed last step. One output
+            // buffer pair per chunk; `SKIP` marks untouched vertices.
+            let chunks: Vec<(Vec<u32>, Vec<Label>)> = self.exec.run_chunks(&bounds, |r| {
+                let mut lens: Vec<u32> = Vec::with_capacity(r.len());
+                let mut out: Vec<Label> = Vec::new();
+                let mut cands: Vec<Label> = Vec::new();
+                for v in r {
+                    let vid = v as VId;
+                    let mut any = false;
+                    self.view.for_each_neighbor(vid, |u, _, _| {
+                        any |= prev_changed[u as usize];
+                    });
+                    if !any {
+                        lens.push(SKIP);
+                        continue;
                     }
-                });
-                Some(reduce_labels(cands, x))
+                    cands.clear();
+                    cands.extend_from_slice(cur.labels(v));
+                    self.view.for_each_neighbor(vid, |u, w, tag| {
+                        for l in cur.labels(u as usize) {
+                            let nd = l.dist + w;
+                            if nd > self.threshold {
+                                continue;
+                            }
+                            cands.push(Label {
+                                src: l.src,
+                                dist: nd,
+                                pw: l.pw + w,
+                                path: if self.record_paths {
+                                    Some(path_extend(
+                                        l.path.as_ref().expect("path recorded"),
+                                        vid,
+                                        self.mem_edge(tag),
+                                        w,
+                                    ))
+                                } else {
+                                    None
+                                },
+                            });
+                        }
+                    });
+                    reduce_labels_in_place(&mut cands, x);
+                    lens.push(cands.len() as u32);
+                    out.append(&mut cands);
+                }
+                (lens, out)
             });
+            // Apply: one pass per chunk — compare each new list against the
+            // arena (the iterator's unconsumed slice), set the fixpoint
+            // flag, then move it into the arena's region (overwriting a
+            // list with equal content is a no-op for every later read).
             for b in next_changed.iter_mut() {
                 *b = false;
             }
-            for (v, slot) in next.into_iter().enumerate() {
-                if let Some(list) = slot {
-                    if !labels_equal(&list, &labels[v]) {
-                        next_changed[v] = true;
-                        labels[v] = list;
+            for (ci, (lens, out)) in chunks.into_iter().enumerate() {
+                let mut items = out.into_iter();
+                for (off, &len) in lens.iter().enumerate() {
+                    if len == SKIP {
+                        continue;
                     }
+                    let v = bounds[ci].start + off;
+                    let new = &items.as_slice()[..len as usize];
+                    if !labels_equal(new, labels.labels(v)) {
+                        next_changed[v] = true;
+                    }
+                    labels.set_list(v, items.by_ref().take(len as usize));
                 }
             }
             std::mem::swap(changed, next_changed);
@@ -256,40 +290,63 @@ impl<'a> Explorer<'a> {
     /// starts an exploration; afterwards `m(C)` holds up to `x` records —
     /// the nearest `x` clusters (including `C` itself at distance 0).
     ///
-    /// * If `|m(C)| ≥ x`, `C` has at least `x − 1` neighbors (popular when
-    ///   `x = deg_i + 1`).
+    /// * If the list is full (`len_of(c) ≥ x`), `C` has at least `x − 1`
+    ///   neighbors (popular when `x = deg_i + 1`).
     /// * Otherwise `m(C)` lists *all* neighbors of `C` with their
     ///   `d^{(2β+1)}`-distances.
+    ///
+    /// Returns the per-cluster arrays `m(·)` as an owned [`LabelArena`]
+    /// over cluster indices.
     pub fn detect_neighbors(
         &self,
         x: usize,
         scratch: &mut ExploreScratch,
         ledger: &mut Ledger,
-    ) -> Vec<Vec<Label>> {
+    ) -> LabelArena {
         let n = self.view.num_vertices();
-        scratch.reset(n);
+        scratch.reset(n, x);
         // Distribution: every member of every cluster seeds its own record.
         ledger.step(n as u64 * x as u64);
         for cl in self.part.clusters.iter() {
             for &v in &cl.members {
                 let l = self.seed_member(v, cl.center, 0.0, 0.0, None);
-                scratch.labels[v as usize].push(l);
+                scratch.labels.push(v as usize, l);
             }
         }
         self.propagate(scratch, x, ledger);
-        // Aggregation: fold member labels into m(C).
+        // Aggregation: fold member labels into m(C), chunked like the
+        // propagate rounds (one buffer pair per chunk, no per-cluster Vec).
         ledger.sort(n as u64 * x as u64);
-        let part = self.part;
+        let nc = self.part.len();
+        let mut m = LabelArena::new();
+        m.reset(nc, x);
         let labels = &scratch.labels;
-        prim::par_map(self.exec, &part.clusters, |cl| {
+        let bounds = self.exec.round_bounds(nc);
+        let chunks: Vec<(Vec<u32>, Vec<Label>)> = self.exec.run_chunks(&bounds, |r| {
+            let mut lens: Vec<u32> = Vec::with_capacity(r.len());
+            let mut out: Vec<Label> = Vec::new();
             let mut cands: Vec<Label> = Vec::new();
-            for &v in &cl.members {
-                for l in &labels[v as usize] {
-                    cands.push(self.lift_to_cluster(v, l));
+            for ci in r {
+                let cl = &self.part.clusters[ci];
+                cands.clear();
+                for &v in &cl.members {
+                    for l in labels.labels(v as usize) {
+                        cands.push(self.lift_to_cluster(v, l));
+                    }
                 }
+                reduce_labels_in_place(&mut cands, x);
+                lens.push(cands.len() as u32);
+                out.append(&mut cands);
             }
-            reduce_labels(cands, x)
-        })
+            (lens, out)
+        });
+        for (ci, (lens, out)) in chunks.into_iter().enumerate() {
+            let mut items = out.into_iter();
+            for (off, &len) in lens.iter().enumerate() {
+                m.set_list(bounds[ci].start + off, items.by_ref().take(len as usize));
+            }
+        }
+        m
     }
 
     /// The `x = 1`, `d ≥ 1` variant (Lemma A.4 / Corollary A.5): a BFS to
@@ -297,7 +354,7 @@ impl<'a> Explorer<'a> {
     /// cluster of `P_i`, the detection record (sources detect themselves at
     /// pulse 0). Each pulse re-seeds from every detected cluster with a
     /// fresh hop/distance budget, exactly matching the pulse semantics of
-    /// Appendix A.2; the label table is reset (not reallocated) per pulse.
+    /// Appendix A.2; the label arena is reset (not reallocated) per pulse.
     pub fn bfs(
         &self,
         sources: &[u32],
@@ -321,13 +378,13 @@ impl<'a> Explorer<'a> {
         for pulse in 1..=pulses {
             // Distribute: members of every detected cluster carry the
             // origin's identity onward with a fresh per-pulse budget.
-            scratch.reset(n);
+            scratch.reset(n, 1);
             ledger.step(n as u64);
             for (ci, cl) in self.part.clusters.iter().enumerate() {
                 let Some(d) = &det[ci] else { continue };
                 for &v in &cl.members {
                     let l = self.seed_member(v, d.src_center, 0.0, d.pw, d.path.as_ref());
-                    scratch.labels[v as usize].push(l);
+                    scratch.labels.push(v as usize, l);
                 }
             }
             self.propagate(scratch, 1, ledger);
@@ -343,7 +400,7 @@ impl<'a> Explorer<'a> {
                 let cl = &self.part.clusters[ci];
                 let mut best: Option<(Label, VId)> = None;
                 for &v in &cl.members {
-                    for l in &labels[v as usize] {
+                    for l in labels.labels(v as usize) {
                         let better = match &best {
                             None => true,
                             Some((b, bv)) => {
@@ -416,18 +473,17 @@ mod tests {
             threshold: 1.5,
             hop_limit: 8,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
         let m = ex.detect_neighbors(10, &mut scratch, &mut led);
         // Vertex 0: itself + neighbor 1.
-        let srcs0: Vec<VId> = m[0].iter().map(|l| l.src).collect();
+        let srcs0: Vec<VId> = m.labels(0).iter().map(|l| l.src).collect();
         assert_eq!(srcs0, vec![0, 1]);
         // Vertex 2: itself + 1 + 3.
-        let srcs2: Vec<VId> = m[2].iter().map(|l| l.src).collect();
+        let srcs2: Vec<VId> = m.labels(2).iter().map(|l| l.src).collect();
         assert_eq!(srcs2, vec![2, 1, 3]);
-        assert_eq!(m[2][1].dist, 1.0);
+        assert_eq!(m.labels(2)[1].dist, 1.0);
         assert!(led.work() > 0);
     }
 
@@ -445,12 +501,11 @@ mod tests {
             threshold: 10.0,
             hop_limit: 2,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
         let m = ex.detect_neighbors(10, &mut scratch, &mut led);
-        let srcs0: Vec<VId> = m[0].iter().map(|l| l.src).collect();
+        let srcs0: Vec<VId> = m.labels(0).iter().map(|l| l.src).collect();
         assert_eq!(srcs0, vec![0, 1, 2]);
     }
 
@@ -467,14 +522,13 @@ mod tests {
             threshold: 3.0,
             hop_limit: 4,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
         let m = ex.detect_neighbors(3, &mut scratch, &mut led);
         // Leaf 1 sees itself (0), center (1.0), then the other leaves (2.0):
         // with x = 3 keep self, center, and the smallest-id leaf.
-        let l1: Vec<(VId, Weight)> = m[1].iter().map(|l| (l.src, l.dist)).collect();
+        let l1: Vec<(VId, Weight)> = m.labels(1).iter().map(|l| (l.src, l.dist)).collect();
         assert_eq!(l1, vec![(1, 0.0), (0, 1.0), (2, 2.0)]);
     }
 
@@ -492,7 +546,6 @@ mod tests {
             threshold: 1.5,
             hop_limit: 4,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
@@ -515,7 +568,6 @@ mod tests {
             threshold: 1.5,
             hop_limit: 4,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
@@ -539,7 +591,6 @@ mod tests {
             threshold: 5.0,
             hop_limit: 4,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
@@ -564,13 +615,16 @@ mod tests {
             threshold: 3.5,
             hop_limit: 8,
             record_paths: true,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
         let m = ex.detect_neighbors(10, &mut scratch, &mut led);
         // Record for source 3 at cluster 0 must carry a real 3→0 path.
-        let rec = m[0].iter().find(|l| l.src == 3).expect("3 within 3.5");
+        let rec = m
+            .labels(0)
+            .iter()
+            .find(|l| l.src == 3)
+            .expect("3 within 3.5");
         assert_eq!(rec.dist, 3.0);
         assert_eq!(rec.pw, 3.0);
         let mp = crate::path::path_materialize(rec.path.as_ref().unwrap());
@@ -608,13 +662,16 @@ mod tests {
             threshold: 2.5,
             hop_limit: 8,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let mut scratch = ExploreScratch::new();
         let m = ex.detect_neighbors(5, &mut scratch, &mut led);
         // m for cluster 0 sees cluster 4 at distance 2 (via members 1 and 3).
-        let rec = m[0].iter().find(|l| l.src == 4).expect("cluster neighbor");
+        let rec = m
+            .labels(0)
+            .iter()
+            .find(|l| l.src == 4)
+            .expect("cluster neighbor");
         assert_eq!(rec.dist, 2.0);
     }
 
@@ -636,7 +693,6 @@ mod tests {
                 threshold: 4.0,
                 hop_limit: 10,
                 record_paths: false,
-                extra_ids: &[],
             };
             let mut l = Ledger::new();
             let mut scratch = ExploreScratch::new();
@@ -645,7 +701,7 @@ mod tests {
         let (a, l1) = run(1);
         for threads in [2usize, 4, 8] {
             let (b, l) = run(threads);
-            for (x, y) in a.iter().zip(&b) {
+            for (x, y) in a.iter_lists().zip(b.iter_lists()) {
                 assert!(labels_equal(x, y), "threads={threads}");
             }
             assert_eq!(l, l1);
@@ -667,7 +723,6 @@ mod tests {
             threshold: 3.0,
             hop_limit: 8,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut reused = ExploreScratch::new();
         for x in [2usize, 5, 3] {
@@ -675,7 +730,7 @@ mod tests {
             let mut l2 = Ledger::new();
             let with_reuse = ex.detect_neighbors(x, &mut reused, &mut l1);
             let fresh = ex.detect_neighbors(x, &mut ExploreScratch::new(), &mut l2);
-            for (a, b) in with_reuse.iter().zip(&fresh) {
+            for (a, b) in with_reuse.iter_lists().zip(fresh.iter_lists()) {
                 assert!(labels_equal(a, b), "x={x}");
             }
             assert_eq!(l1, l2, "x={x}");

@@ -91,7 +91,6 @@ proptest! {
             threshold: thr,
             hop_limit: hops,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let x = part.len() + 1; // no truncation
@@ -100,7 +99,7 @@ proptest! {
             for b in 0..part.len() as u32 {
                 if a == b { continue; }
                 let oracle = oracle_cluster_dist(&g, &part, a, b, hops, thr);
-                let rec = m[a as usize]
+                let rec = m.labels(a as usize)
                     .iter()
                     .find(|l| l.src == part.center(b))
                     .map(|l| l.dist);
@@ -141,7 +140,6 @@ proptest! {
             threshold: thr,
             hop_limit: n,
             record_paths: false,
-            extra_ids: &[],
         };
         // Reference: BFS on the brute-force virtual graph.
         let nc = part.len();
@@ -197,11 +195,10 @@ proptest! {
             threshold: 20.0,
             hop_limit: n,
             record_paths: false,
-            extra_ids: &[],
         };
         let mut led = Ledger::new();
         let m = ex.detect_neighbors(part.len() + 1, &mut ExploreScratch::new(), &mut led);
-        for (ci, recs) in m.iter().enumerate() {
+        for (ci, recs) in m.iter_lists().enumerate() {
             for l in recs {
                 // pw is always a realized path weight, never below dist.
                 prop_assert!(l.pw >= l.dist - 1e-9);
@@ -292,11 +289,11 @@ fn explorer_over_union_views_uses_hopset_edges() {
         threshold: 40.0,
         hop_limit: 2, // two hops only: bare path cannot see 0 from 39
         record_paths: false,
-        extra_ids: &[7],
     };
     let mut led = Ledger::new();
     let m = ex.detect_neighbors(50, &mut ExploreScratch::new(), &mut led);
-    let rec = m[39]
+    let rec = m
+        .labels(39)
         .iter()
         .find(|l| l.src == 0)
         .expect("overlay edge must carry the label in one hop");

@@ -26,7 +26,7 @@ pub mod io;
 pub mod view;
 
 pub use csr::{Graph, GraphBuilder, GraphStats};
-pub use view::{EdgeTag, OverlayCsr, UnionGraph, UnionView};
+pub use view::{EdgeTag, OverlayCsr, OverlayCsrBuilder, UnionGraph, UnionView};
 
 /// Vertex identifier. Graphs are limited to `u32::MAX` vertices, which keeps
 /// adjacency arrays compact (see the perf-book guidance on smaller integers).

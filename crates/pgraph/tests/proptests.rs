@@ -1,8 +1,18 @@
 //! Property tests for the graph substrate.
 
 use pgraph::exact::{bellman_ford_hops, dijkstra};
-use pgraph::{gen, io, Graph, GraphBuilder, UnionView, INF};
+use pgraph::{gen, io, EdgeTag, Graph, GraphBuilder, OverlayCsrBuilder, UnionView, INF};
 use proptest::prelude::*;
+
+/// Random overlay edge batches over `n` vertices: a list of "scales", each
+/// a list of `(u, v, w)` with `u != v`.
+fn arb_scale_batches(n: usize) -> impl Strategy<Value = Vec<Vec<(u32, u32, f64)>>> {
+    let edge = (0..n as u32, 1..n as u32, 1u32..50).prop_map(move |(u, d, w)| {
+        let v = (u + d) % n as u32;
+        (u.min(v), u.max(v), w as f64)
+    });
+    proptest::collection::vec(proptest::collection::vec(edge, 0..12), 1..5)
+}
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (8usize..60, 0usize..4, any::<u64>(), 1u32..20)
@@ -113,5 +123,72 @@ proptest! {
             None => w,
         };
         prop_assert_eq!(view.edge_weight(0, 1), Some(expect));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The incremental `OverlayCsrBuilder` is semantics-preserving: its
+    /// merged union equals a from-scratch `OverlayCsr::build` over the
+    /// concatenated batches, per-scale blocks equal per-batch builds with
+    /// global index offsets, and block-prefix stacks ("scales ≤ k") equal
+    /// from-scratch builds over the concatenated prefix.
+    #[test]
+    fn overlay_builder_matches_vec_reference(
+        n in 4usize..24,
+        batches in arb_scale_batches(16),
+    ) {
+        let n = n.max(16); // batches address vertices 0..16
+        let g = Graph::empty(n);
+        let mut builder = OverlayCsrBuilder::new(n);
+        let mut all: Vec<(u32, u32, f64)> = Vec::new();
+        for batch in &batches {
+            let us: Vec<u32> = batch.iter().map(|e| e.0).collect();
+            let vs: Vec<u32> = batch.iter().map(|e| e.1).collect();
+            let ws: Vec<f64> = batch.iter().map(|e| e.2).collect();
+            let base = builder.num_extra() as u32;
+            builder.append_scale_seq(&us, &vs, &ws);
+            // Per-block view == with_extra over the batch, ids shifted.
+            let blk = builder.block(builder.num_scales() - 1);
+            let blk_view = UnionView::with_csr(&g, blk);
+            let ref_view = UnionView::with_extra(&g, batch);
+            for v in 0..n as u32 {
+                let a: Vec<_> = blk_view.neighbors(v).collect();
+                let b: Vec<_> = ref_view
+                    .neighbors(v)
+                    .map(|(nb, w, t)| match t {
+                        EdgeTag::Extra(i) => (nb, w, EdgeTag::Extra(base + i)),
+                        t => (nb, w, t),
+                    })
+                    .collect();
+                prop_assert_eq!(a, b, "block mismatch at vertex {}", v);
+            }
+            all.extend_from_slice(batch);
+            // Prefix stack ("scales ≤ current") == from-scratch union so far.
+            let stack_view = UnionView::with_stack(&g, builder.blocks());
+            let union_view = UnionView::with_extra(&g, &all);
+            prop_assert_eq!(stack_view.num_extra(), union_view.num_extra());
+            for v in 0..n as u32 {
+                let a: Vec<_> = stack_view.neighbors(v).map(|(nb, w, t)| (nb, w.to_bits(), t)).collect();
+                let mut b: Vec<_> = union_view.neighbors(v).map(|(nb, w, t)| (nb, w.to_bits(), t)).collect();
+                // Stack order is block-major; the reference is globally
+                // (nb, idx)-sorted. Same multiset, and per neighbor the idx
+                // order matches — normalize both to sorted order.
+                b.sort_by_key(|&(nb, _, t)| (nb, match t { EdgeTag::Extra(i) => i as u64, EdgeTag::Base => u64::MAX }));
+                let mut a2 = a.clone();
+                a2.sort_by_key(|&(nb, _, t)| (nb, match t { EdgeTag::Extra(i) => i as u64, EdgeTag::Base => u64::MAX }));
+                prop_assert_eq!(a2, b, "stack mismatch at vertex {}", v);
+            }
+        }
+        // Merged union == from-scratch build over everything, exactly.
+        let merged = builder.union_all();
+        let merged_view = UnionView::with_csr(&g, &merged);
+        let ref_view = UnionView::with_extra(&g, &all);
+        for v in 0..n as u32 {
+            let a: Vec<_> = merged_view.neighbors(v).collect();
+            let b: Vec<_> = ref_view.neighbors(v).collect();
+            prop_assert_eq!(a, b, "union mismatch at vertex {}", v);
+        }
     }
 }

@@ -183,10 +183,14 @@ fn cc_with_forest(
 /// `roots` maps a component label to its chosen root vertex; components whose
 /// label is absent use the label vertex itself as root.
 ///
-/// Runs BFS-style rounds over the forest (depth ≤ forest diameter). The
-/// paper's node trees are an internal device of Appendix C/D, where this
-/// orientation cost is dominated by the hopset construction.
+/// The forest adjacency scratch is a flat CSR built with a degree count and
+/// a prefix-sum pass on `exec` (the workspace's flat-layout discipline —
+/// no per-vertex `Vec` allocation), then BFS-style rounds over it (depth ≤
+/// forest diameter). The paper's node trees are an internal device of
+/// Appendix C/D, where this orientation cost is dominated by the hopset
+/// construction.
 pub fn orient_forest(
+    exec: &Executor,
     n: usize,
     g: &Graph,
     tree_edges: &[usize],
@@ -194,16 +198,33 @@ pub fn orient_forest(
     labels: &[VId],
     ledger: &mut Ledger,
 ) -> (Vec<VId>, Vec<f64>) {
-    // adjacency restricted to forest edges
-    let mut adj: Vec<Vec<(VId, f64)>> = vec![Vec::new(); n];
+    // Flat CSR over the forest edges: count, scan, place, sort runs.
+    let edges = g.edges();
+    let mut deg = vec![0u64; n];
     for &e in tree_edges {
-        let (u, v, w) = g.edges()[e];
-        adj[u as usize].push((v, w));
-        adj[v as usize].push((u, w));
+        let (u, v, _) = edges[e];
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
     }
-    for l in adj.iter_mut() {
-        l.sort_by_key(|a| a.0);
+    let (offsets, total) = crate::scan::exclusive_prefix_sum(exec, &deg, ledger);
+    let mut off: Vec<usize> = Vec::with_capacity(n + 1);
+    off.extend(offsets.iter().map(|&x| x as usize));
+    off.push(total as usize);
+    let mut cursor = off[..n].to_vec();
+    let mut adj: Vec<(VId, f64)> = vec![(0, 0.0); total as usize];
+    for &e in tree_edges {
+        let (u, v, w) = edges[e];
+        adj[cursor[u as usize]] = (v, w);
+        cursor[u as usize] += 1;
+        adj[cursor[v as usize]] = (u, w);
+        cursor[v as usize] += 1;
     }
+    for v in 0..n {
+        // Neighbors are unique within a forest run, so unstable is exact.
+        adj[off[v]..off[v + 1]].sort_unstable_by_key(|a| a.0);
+    }
+    let run = |v: usize| &adj[off[v]..off[v + 1]];
+
     let mut parent: Vec<VId> = (0..n as VId).collect();
     let mut pw: Vec<f64> = vec![0.0; n];
     let mut visited = vec![false; n];
@@ -219,13 +240,13 @@ pub fn orient_forest(
         ledger.step(
             frontier
                 .iter()
-                .map(|&v| adj[v as usize].len() as u64)
+                .map(|&v| run(v as usize).len() as u64)
                 .sum::<u64>()
                 + 1,
         );
         let mut next = Vec::new();
         for &u in &frontier {
-            for &(v, w) in &adj[u as usize] {
+            for &(v, w) in run(u as usize) {
                 if !visited[v as usize] {
                     visited[v as usize] = true;
                     parent[v as usize] = u;
@@ -357,6 +378,7 @@ mod tests {
         let (cc, forest) = spanning_forest(&exec(), &g, |_| true, &mut l);
         // Root component {0,1,2} at 2; component {3,4} at 3.
         let (parent, pw) = orient_forest(
+            &exec(),
             5,
             &g,
             &forest,

@@ -547,6 +547,23 @@ impl Executor {
         task_bounds(len, self.effective_threads())
     }
 
+    /// The bounds of one data-parallel round over `0..len`, honoring the
+    /// eligibility contract the `prim` primitives follow: the chunked split
+    /// ([`Executor::chunk_bounds`]) when [`Executor::parallel_eligible`],
+    /// otherwise a single chunk covering the input (empty for `len == 0`).
+    /// Downstream round engines (e.g. `hopset`'s exploration pulses) use
+    /// this instead of re-deriving the threshold rule, so a future change
+    /// to the contract lands everywhere at once.
+    pub fn round_bounds(&self, len: usize) -> Vec<Range<usize>> {
+        if self.parallel_eligible(len) {
+            self.chunk_bounds(len)
+        } else if len == 0 {
+            Vec::new()
+        } else {
+            std::iter::once(0..len).collect()
+        }
+    }
+
     /// Execute `task(chunk_index)` for every `chunk_index in 0..nchunks`,
     /// distributed over the persistent workers + the calling thread, and
     /// barrier until all are done. Runs inline (sequentially, in index

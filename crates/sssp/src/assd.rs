@@ -85,8 +85,8 @@ impl<'g> ApproxShortestPaths<'g> {
     fn from_params_inner(g: &'g Graph, params: &HopsetParams) -> Self {
         let exec = Executor::current();
         let built = hopset::build_hopset_on(&exec, g, params, BuildOptions::default());
-        let overlay = built.overlay();
-        let view = UnionView::with_extra(g, &overlay);
+        let sl = built.hopset.all_slice();
+        let view = UnionView::with_overlay_columns(g, sl.us(), sl.vs(), sl.ws());
         ApproxShortestPaths {
             g,
             built,

@@ -8,6 +8,7 @@
 //! effective β cost stretch or even reachability, matching the hopset
 //! lower-bound intuition of \[ABP17\]).
 
+use crate::oracle::DistanceMatrix;
 use pgraph::exact::{bellman_ford_hops, dijkstra};
 use pgraph::{Graph, UnionView, VId, Weight, INF};
 
@@ -46,7 +47,12 @@ pub fn stretch_vs_hops_view(
     budgets: &[usize],
 ) -> Vec<HopCurvePoint> {
     let g = view.base();
-    let exact: Vec<Vec<Weight>> = sources.iter().map(|&s| dijkstra(g, s).dist).collect();
+    // Exact baseline in a flat row-major DistanceMatrix — the query layer's
+    // one distance-table layout (no nested Vec<Vec<Weight>>).
+    let mut exact = DistanceMatrix::with_capacity(sources.len(), g.num_vertices());
+    for &s in sources {
+        exact.push_row(&dijkstra(g, s).dist);
+    }
     budgets
         .iter()
         .map(|&hops| {
@@ -56,8 +62,9 @@ pub fn stretch_vs_hops_view(
             let mut unreached = 0usize;
             for (si, &s) in sources.iter().enumerate() {
                 let approx = bellman_ford_hops(view, &[s], hops);
+                #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
                 for v in 0..g.num_vertices() {
-                    let e = exact[si][v];
+                    let e = exact.row(si)[v];
                     if e == 0.0 || e == INF {
                         continue;
                     }

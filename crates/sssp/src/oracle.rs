@@ -50,7 +50,7 @@ use hopset::multi_scale::{build_hopset_on, BuildOptions, BuiltHopset};
 use hopset::params::{HopsetParams, ParamError, ParamMode};
 use hopset::path_report::{build_spt_on, build_spt_reduced_on, SptResult};
 use hopset::reduction::{build_reduced_hopset_on, ReducedHopset};
-use pgraph::{ceil_log2, Graph, UnionGraph, VId, Weight, INF};
+use pgraph::{ceil_log2, Graph, OverlayCsr, UnionGraph, VId, Weight, INF};
 use pram::pool::Executor;
 use pram::{bford, pool, Ledger};
 use std::sync::Arc;
@@ -487,13 +487,17 @@ impl OracleBuilder {
             Pipeline::Auto => unreachable!("resolved above"),
         };
 
-        // Satellite of the redesign: the union CSR is built exactly once;
-        // distances_from / distances_multi / spt all reuse it.
-        let overlay = match &backend {
-            OracleBackend::Plain(b) => b.hopset.overlay_all(),
-            OracleBackend::Reduced(r) => r.hopset.overlay_all(),
+        // The union CSR is built exactly once, bucketed straight from the
+        // store's flat columns — no `(u, v, w)` triple list is ever
+        // materialized; distances_from / distances_multi / spt all reuse it.
+        let union = {
+            let h = match &backend {
+                OracleBackend::Plain(b) => &b.hopset,
+                OracleBackend::Reduced(r) => &r.hopset,
+            };
+            let csr = OverlayCsr::build_columns(self.graph.num_vertices(), h.us(), h.vs(), h.ws());
+            UnionGraph::from_csr(Arc::clone(&self.graph), csr)
         };
-        let union = UnionGraph::new(Arc::clone(&self.graph), &overlay);
 
         Ok(Oracle {
             union,

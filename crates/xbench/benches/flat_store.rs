@@ -1,0 +1,49 @@
+//! Criterion bench: the flat data plane vs the retired AoS layout — the
+//! timing companion of the `flat-store` experiment (see `xbench::exp_flat`
+//! for the reference implementations and the equality assertions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgraph::{gen, Graph};
+use pram::Executor;
+use std::hint::black_box;
+use xbench::exp_flat::{
+    arena_detect_singletons, old_detect_singletons, replay_store_aos, replay_store_soa,
+    synth_edges_for_bench,
+};
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_store/store_replay");
+    group.sample_size(10);
+    let scales = 32u32; // match the flat-store experiment's shape
+    for &n in &[4096usize, 16384] {
+        let edges = synth_edges_for_bench(n, scales, n / 8);
+        let base = Graph::empty(n);
+        let exec = Executor::current();
+        group.bench_with_input(BenchmarkId::new("aos", n), &n, |b, _| {
+            b.iter(|| black_box(replay_store_aos(&edges, &base, scales)))
+        });
+        group.bench_with_input(BenchmarkId::new("soa", n), &n, |b, _| {
+            b.iter(|| black_box(replay_store_soa(&edges, &base, scales, &exec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pulse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_store/pulse");
+    group.sample_size(10);
+    let n = 8192usize;
+    let g = gen::gnm_connected(n, 3 * n, 17, 1.0, 2.0);
+    let exec = Executor::current();
+    group.bench_function("vec_of_vec", |b| {
+        let view = pgraph::UnionView::base_only(&g);
+        b.iter(|| black_box(old_detect_singletons(&exec, &view, 4, 4.0, 6)))
+    });
+    group.bench_function("label_arena", |b| {
+        b.iter(|| arena_detect_singletons(&g, &exec, 4, 4.0, 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store, bench_pulse);
+criterion_main!(benches);

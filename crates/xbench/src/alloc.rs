@@ -1,0 +1,61 @@
+//! Counting global allocator for the experiment harness.
+//!
+//! The flat-store experiment's claim is partly an *allocation-count*
+//! reduction (the retired layout allocated per vertex per pulse and per
+//! scale slice); wall-clock alone under-sells it on a noisy container.
+//! This wraps the system allocator with one relaxed atomic increment per
+//! `alloc`/`realloc` — exact (not sampled). It is installed for the whole
+//! harness (experiments, benches, `repro`): the hot loops this workspace
+//! measures are allocation-free by design, so the counter adds a few
+//! nanoseconds to the rare allocation, not to the measured rounds — the
+//! `pool-overhead` table re-recorded under the counting allocator matches
+//! the PR-4 numbers within run-to-run noise (see EXPERIMENTS.md). If a
+//! future bench becomes allocation-bound, gate this behind a feature.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// The counting wrapper around [`System`].
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the counter has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations (`alloc` + `realloc` calls) since process start.
+/// Subtract two readings to charge a region of code.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_advances_on_allocation() {
+        let before = alloc_count();
+        let v: Vec<u64> = (0..1024).collect();
+        std::hint::black_box(&v);
+        assert!(alloc_count() > before);
+    }
+}

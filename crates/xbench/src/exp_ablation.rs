@@ -92,12 +92,7 @@ pub fn a2_mode(cfg: &Config) {
         )
         .expect("params");
         let built = build_hopset(&g, &p, BuildOptions::default());
-        let max_w = built
-            .hopset
-            .edges
-            .iter()
-            .map(|e| e.w)
-            .fold(0.0f64, f64::max);
+        let max_w = built.hopset.ws().iter().copied().fold(0.0f64, f64::max);
         let rep = measure_stretch(
             &g,
             &built.hopset,

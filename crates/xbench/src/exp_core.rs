@@ -130,9 +130,9 @@ pub fn e2b_scale(cfg: &Config) {
         "unreached",
     ]);
     for k in built.k0..=built.lambda {
-        let (overlay, _) = built.hopset.overlay_scale(k);
-        let sz = overlay.len();
-        let view = UnionView::with_extra(&g, &overlay);
+        let sl = built.hopset.scale_slice(k);
+        let sz = sl.len();
+        let view = UnionView::with_overlay_columns(&g, sl.us(), sl.vs(), sl.ws());
         let ceil = 2f64.powi(k as i32 + 1);
         let mut max_stretch: f64 = 1.0;
         let mut pairs = 0usize;

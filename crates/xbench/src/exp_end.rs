@@ -124,12 +124,12 @@ pub fn f1_reach(cfg: &Config) {
     ]);
     let mut eps_prev = 0.0f64;
     for k in built.k0..=built.lambda {
-        let (overlay, _) = if k == built.k0 {
-            (Vec::new(), Vec::new())
+        let sl = built.hopset.scale_slice(k.saturating_sub(1));
+        let view = if k == built.k0 {
+            UnionView::base_only(&g)
         } else {
-            built.hopset.overlay_scale(k - 1)
+            UnionView::with_overlay_columns(&g, sl.us(), sl.vs(), sl.ws())
         };
-        let view = UnionView::with_extra(&g, &overlay);
         let ceil = 2f64.powi(k as i32 + 1);
         let mut worst: f64 = 1.0;
         let mut pairs = 0usize;
@@ -221,7 +221,6 @@ pub fn f9_knockout(cfg: &Config) {
         threshold: 2.5,
         hop_limit: 16,
         record_paths: false,
-        extra_ids: &[],
     };
     let w: Vec<u32> = (0..nn as u32).collect();
     let mut led = Ledger::new();

@@ -1,0 +1,476 @@
+//! Flat-data-plane experiment: the retired array-of-structs layout vs the
+//! scale-indexed SoA store, incremental overlay builder, and label arena.
+//!
+//! Three costs dominated the construction data plane before the flat
+//! refactor, and each has a faithful reference implementation here:
+//!
+//! 1. **per-scale slicing** — `overlay_scale(k)` linearly scanned all of
+//!    `H` and allocated a filtered copy (plus an id side-table) per scale;
+//!    the SoA store answers the same query with offset arithmetic and
+//!    zero-copy column slices;
+//! 2. **overlay bucketing** — every scale re-bucketed its overlay list
+//!    into a fresh CSR from the copied triples; the incremental
+//!    [`pgraph::OverlayCsrBuilder`] counting-sorts only the new scale's columns;
+//! 3. **pulse label tables** — the exploration engine kept
+//!    `Vec<Vec<Label>>` tables and allocated a fresh candidate vector and
+//!    result vector *per vertex per step*; the [`hopset::LabelArena`] engine
+//!    allocates per chunk, reduces in place, and writes into fixed
+//!    regions.
+//!
+//! Both sides of each comparison are asserted to produce identical
+//! results, and both wall-clock and exact allocation counts (via the
+//! harness's counting allocator) are reported. Recorded numbers live in
+//! EXPERIMENTS.md.
+
+use crate::alloc::alloc_count;
+use crate::table::Table;
+use crate::Config;
+use hopset::{
+    reduce_labels, ClusterMemory, EdgeKind, ExploreScratch, Explorer, Hopset, HopsetEdge, Label,
+    Partition,
+};
+use pgraph::{gen, EdgeTag, Graph, OverlayCsr, OverlayCsrBuilder, UnionView, VId, Weight};
+use pram::{prim, scan, Executor, Ledger};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Reference: the retired AoS store
+// ---------------------------------------------------------------------------
+
+/// The retired layout: one `Vec` of edge records, per-scale queries by
+/// linear scan + filtered copy (verbatim port of the pre-flat `Hopset`).
+pub struct AosStore {
+    /// All edge records, push order.
+    pub edges: Vec<HopsetEdge>,
+}
+
+impl AosStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        AosStore { edges: Vec::new() }
+    }
+
+    /// Append an edge.
+    pub fn push(&mut self, e: HopsetEdge) {
+        self.edges.push(e);
+    }
+
+    /// The retired `overlay_scale`: O(|H|) scan, two allocated outputs.
+    pub fn overlay_scale(&self, k: u32) -> (Vec<(VId, VId, Weight)>, Vec<u32>) {
+        let mut overlay = Vec::new();
+        let mut ids = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.scale == k {
+                overlay.push((e.u, e.v, e.w));
+                ids.push(i as u32);
+            }
+        }
+        (overlay, ids)
+    }
+}
+
+impl Default for AosStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A deterministic synthetic multi-scale edge stream: `per_scale` edges at
+/// each of `scales` ascending scales over `n` vertices (LCG endpoints,
+/// weights in (0, 8]). Public for the `flat_store` criterion bench.
+pub fn synth_edges_for_bench(n: usize, scales: u32, per_scale: usize) -> Vec<HopsetEdge> {
+    let mut out = Vec::with_capacity(scales as usize * per_scale);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    for k in 0..scales {
+        for _ in 0..per_scale {
+            let u = (next() % n as u64) as VId;
+            let mut v = (next() % n as u64) as VId;
+            if v == u {
+                v = (v + 1) % n as VId;
+            }
+            let w = 1.0 + (next() % 7000) as f64 / 1000.0;
+            out.push(HopsetEdge {
+                u,
+                v,
+                w,
+                scale: k,
+                kind: EdgeKind::Interconnect { phase: 0 },
+                path: None,
+            });
+        }
+    }
+    out
+}
+
+/// Outcome of one store-side measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreRow {
+    /// Wall-clock nanoseconds for the whole push + per-scale-view replay.
+    pub ns: u64,
+    /// Heap allocations charged to the replay.
+    pub allocs: u64,
+    /// Checksum over the produced per-scale adjacency (equality witness).
+    pub checksum: u64,
+}
+
+fn checksum_view(view: &UnionView<'_>, ids: impl Fn(u32) -> u32) -> u64 {
+    let mut acc = 0u64;
+    for v in 0..view.num_vertices() as VId {
+        view.for_each_neighbor(v, |nb, w, tag| {
+            if let EdgeTag::Extra(i) = tag {
+                acc = acc
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add(nb as u64)
+                    .wrapping_add(w.to_bits())
+                    .wrapping_add(ids(i) as u64);
+            }
+        });
+    }
+    acc
+}
+
+/// Replay the construction data plane on the retired layout: AoS pushes,
+/// then per scale an `overlay_scale` scan + a from-scratch CSR bucket,
+/// then the query layer's union — the retired oracle materialized
+/// `overlay_all()` (a full triple copy) and bucketed it from scratch.
+pub fn replay_store_aos(edges: &[HopsetEdge], base: &Graph, scales: u32) -> StoreRow {
+    let n = base.num_vertices();
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let mut store = AosStore::new();
+    let mut acc = 0u64;
+    let mut cursor = 0usize;
+    for k in 0..scales {
+        while cursor < edges.len() && edges[cursor].scale == k {
+            store.push(edges[cursor]);
+            cursor += 1;
+        }
+        let (overlay, ids) = store.overlay_scale(k);
+        let csr = OverlayCsr::build(n, &overlay);
+        let view = UnionView::with_csr(base, &csr);
+        acc ^= checksum_view(&view, |i| ids[i as usize]);
+    }
+    // Query setup, retired path: overlay_all() copy + from-scratch bucket.
+    let all: Vec<(VId, VId, Weight)> = store.edges.iter().map(|e| (e.u, e.v, e.w)).collect();
+    let union = OverlayCsr::build(n, &all);
+    acc ^= checksum_view(&UnionView::with_csr(base, &union), |i| i);
+    StoreRow {
+        ns: t0.elapsed().as_nanos() as u64,
+        allocs: alloc_count() - a0,
+        checksum: acc,
+    }
+}
+
+/// Replay the same data plane on the flat layout: SoA pushes, zero-copy
+/// scale slices, rolling one-block-per-scale bucketing (only the newest
+/// block is retained, matching the construction), and the query union
+/// bucketed once straight from the store's columns — the flat side skips
+/// the per-scale scans, the filtered copies, and the `overlay_all()`
+/// triple-list materialization, not the final union bucket itself.
+pub fn replay_store_soa(
+    edges: &[HopsetEdge],
+    base: &Graph,
+    scales: u32,
+    exec: &Executor,
+) -> StoreRow {
+    let n = base.num_vertices();
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let mut store = Hopset::new();
+    let mut builder = OverlayCsrBuilder::rolling(n);
+    let mut ledger = Ledger::new();
+    let mut acc = 0u64;
+    let mut cursor = 0usize;
+    for k in 0..scales {
+        while cursor < edges.len() && edges[cursor].scale == k {
+            store.push(edges[cursor]);
+            cursor += 1;
+        }
+        let sl = store.scale_slice(k);
+        let start = sl.start();
+        let block = builder.append_scale(sl.us(), sl.vs(), sl.ws(), |deg| {
+            scan::exclusive_prefix_sum(exec, deg, &mut ledger).0
+        });
+        let view = UnionView::with_csr(base, block);
+        // Block tags are already global; the AoS side's scan-order mapping
+        // resolves to the same global ids, so the checksums must match.
+        acc ^= checksum_view(&view, |i| i);
+        debug_assert!(start <= builder.num_extra() as u32);
+    }
+    // Query setup, flat path: bucket the store's columns directly.
+    let union = OverlayCsr::build_columns(n, store.us(), store.vs(), store.ws());
+    acc ^= checksum_view(&UnionView::with_csr(base, &union), |i| i);
+    StoreRow {
+        ns: t0.elapsed().as_nanos() as u64,
+        allocs: alloc_count() - a0,
+        checksum: acc,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference: the retired Vec<Vec<Label>> pulse engine
+// ---------------------------------------------------------------------------
+
+/// The retired exploration inner loop (verbatim port of the pre-arena
+/// `propagate` + singleton aggregation): `Vec<Vec<Label>>` table, one
+/// candidate vector and one result vector allocated per vertex per step,
+/// stable two-pass allocating reduce.
+pub fn old_detect_singletons(
+    exec: &Executor,
+    view: &UnionView<'_>,
+    x: usize,
+    threshold: Weight,
+    hop_limit: usize,
+) -> Vec<Vec<Label>> {
+    fn old_reduce(mut cands: Vec<Label>, x: usize) -> Vec<Label> {
+        if cands.is_empty() {
+            return cands;
+        }
+        cands.sort_by_key(|l| (l.src, l.dist.to_bits(), l.pw.to_bits()));
+        cands.dedup_by(|b, a| b.src == a.src);
+        cands.sort_by_key(|l| (l.dist.to_bits(), l.src));
+        cands.truncate(x);
+        cands
+    }
+    let n = view.num_vertices();
+    let mut labels: Vec<Vec<Label>> = vec![Vec::new(); n];
+    for (v, list) in labels.iter_mut().enumerate() {
+        list.push(Label {
+            src: v as VId,
+            dist: 0.0,
+            pw: 0.0,
+            path: None,
+        });
+    }
+    let mut changed = vec![true; n];
+    let mut next_changed = vec![false; n];
+    for _ in 0..hop_limit {
+        if !changed.iter().any(|&c| c) {
+            break;
+        }
+        let prev = &labels;
+        let prev_changed = &changed;
+        let next: Vec<Option<Vec<Label>>> = prim::par_map_range(exec, n, |v| {
+            let vid = v as VId;
+            let mut any = false;
+            view.for_each_neighbor(vid, |u, _, _| any |= prev_changed[u as usize]);
+            if !any {
+                return None;
+            }
+            let mut cands: Vec<Label> = prev[v].clone();
+            view.for_each_neighbor(vid, |u, w, _| {
+                for l in &prev[u as usize] {
+                    let nd = l.dist + w;
+                    if nd > threshold {
+                        continue;
+                    }
+                    cands.push(Label {
+                        src: l.src,
+                        dist: nd,
+                        pw: l.pw + w,
+                        path: None,
+                    });
+                }
+            });
+            Some(old_reduce(cands, x))
+        });
+        for b in next_changed.iter_mut() {
+            *b = false;
+        }
+        for (v, slot) in next.into_iter().enumerate() {
+            if let Some(list) = slot {
+                if !hopset::label::labels_equal(&list, &labels[v]) {
+                    next_changed[v] = true;
+                    labels[v] = list;
+                }
+            }
+        }
+        std::mem::swap(&mut changed, &mut next_changed);
+    }
+    // Singleton aggregation: every cluster is its one member, lift is the
+    // identity (trivial cluster memory), so m(C) = reduce(labels[v]).
+    labels.into_iter().map(|l| reduce_labels(l, x)).collect()
+}
+
+/// One arena-engine exploration (the "new side" alone, for benches).
+pub fn arena_detect_singletons(
+    g: &Graph,
+    exec: &Executor,
+    x: usize,
+    threshold: Weight,
+    hop_limit: usize,
+) {
+    let view = UnionView::base_only(g);
+    let n = g.num_vertices();
+    let part = Partition::singletons(n);
+    let cm = ClusterMemory::trivial(n, false);
+    let ex = Explorer {
+        exec,
+        view: &view,
+        part: &part,
+        cm: &cm,
+        threshold,
+        hop_limit,
+        record_paths: false,
+    };
+    let mut scratch = ExploreScratch::new();
+    let mut led = Ledger::new();
+    std::hint::black_box(ex.detect_neighbors(x, &mut scratch, &mut led));
+}
+
+/// Outcome of one pulse-side measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct PulseRow {
+    /// Wall-clock nanoseconds.
+    pub ns: u64,
+    /// Heap allocations charged.
+    pub allocs: u64,
+}
+
+/// Run both pulse engines on the same exploration and assert equal labels.
+/// Returns (old, new).
+pub fn measure_pulse(
+    g: &Graph,
+    exec: &Executor,
+    x: usize,
+    threshold: Weight,
+    hop_limit: usize,
+) -> (PulseRow, PulseRow) {
+    let view = UnionView::base_only(g);
+    let n = g.num_vertices();
+    let part = Partition::singletons(n);
+    let cm = ClusterMemory::trivial(n, false);
+    let ex = Explorer {
+        exec,
+        view: &view,
+        part: &part,
+        cm: &cm,
+        threshold,
+        hop_limit,
+        record_paths: false,
+    };
+    // Warm both paths once (page faults, pool parked-worker wake).
+    let _ = old_detect_singletons(exec, &view, x, threshold, 1);
+    let mut scratch = ExploreScratch::new();
+    let mut led = Ledger::new();
+    let _ = ex.detect_neighbors(x, &mut scratch, &mut led);
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let old = old_detect_singletons(exec, &view, x, threshold, hop_limit);
+    let old_row = PulseRow {
+        ns: t0.elapsed().as_nanos() as u64,
+        allocs: alloc_count() - a0,
+    };
+
+    let a1 = alloc_count();
+    let t1 = Instant::now();
+    let new = ex.detect_neighbors(x, &mut scratch, &mut led);
+    let new_row = PulseRow {
+        ns: t1.elapsed().as_nanos() as u64,
+        allocs: alloc_count() - a1,
+    };
+
+    assert_eq!(new.num_lists(), old.len());
+    for (v, reference) in old.iter().enumerate() {
+        assert!(
+            hopset::label::labels_equal(new.labels(v), reference),
+            "layouts disagree at vertex {v}"
+        );
+    }
+    (old_row, new_row)
+}
+
+/// The `flat-store` experiment: both tables, old vs new, with speedup and
+/// allocation ratios (recorded in EXPERIMENTS.md).
+pub fn flat_store(cfg: &Config) {
+    let exec = Executor::current();
+
+    // ---- store + overlay data plane.
+    let n = 16 * cfg.sz(4096); // 64k full / 16k quick
+    let scales = 32u32; // a realistic λ − k₀: the old O(|H|) scan per scale bites
+    let per_scale = n / 8;
+    let edges = synth_edges_for_bench(n, scales, per_scale);
+    let base = Graph::empty(n);
+    // Warm both sides once (allocator + page faults), then measure.
+    let _ = replay_store_aos(&edges, &base, scales);
+    let _ = replay_store_soa(&edges, &base, scales, &exec);
+    let aos = replay_store_aos(&edges, &base, scales);
+    let soa = replay_store_soa(&edges, &base, scales, &exec);
+    assert_eq!(
+        aos.checksum, soa.checksum,
+        "layouts built different overlays"
+    );
+    let mut t = Table::new(&["layout", "ms", "allocs", "vs AoS"]);
+    t.row(vec![
+        "AoS scan+rebucket".into(),
+        format!("{:.1}", aos.ns as f64 / 1e6),
+        aos.allocs.to_string(),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "SoA slice+append".into(),
+        format!("{:.1}", soa.ns as f64 / 1e6),
+        soa.allocs.to_string(),
+        format!("{:.2}x", aos.ns as f64 / soa.ns as f64),
+    ]);
+    t.print(&format!(
+        "flat-store A: store+overlay data plane, per-scale views + final query union \
+         (n = {n}, {scales} scales x {per_scale} edges; identical overlays asserted; \
+         both sides warmed before timing)"
+    ));
+
+    // ---- pulse label tables.
+    let pn = 16 * cfg.sz(4096);
+    let g = gen::gnm_connected(pn, 3 * pn, 17, 1.0, 2.0);
+    let (old, new) = measure_pulse(&g, &exec, 4, 4.0, 6);
+    let mut t = Table::new(&["engine", "ms", "allocs", "vs Vec<Vec>"]);
+    t.row(vec![
+        "Vec<Vec<Label>> pulses".into(),
+        format!("{:.1}", old.ns as f64 / 1e6),
+        old.allocs.to_string(),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "LabelArena pulses".into(),
+        format!("{:.1}", new.ns as f64 / 1e6),
+        new.allocs.to_string(),
+        format!("{:.2}x", old.ns as f64 / new.ns as f64),
+    ]);
+    t.print(&format!(
+        "flat-store B: exploration pulses, retired per-vertex-alloc engine vs label arena \
+         (n = {pn}, m = {}, x = 4, 6 hops; identical labels asserted)",
+        g.num_edges()
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_replays_agree_and_count_allocs() {
+        let n = 512;
+        let edges = synth_edges_for_bench(n, 4, 64);
+        let base = Graph::empty(n);
+        let exec = Executor::sequential();
+        let a = replay_store_aos(&edges, &base, 4);
+        let b = replay_store_soa(&edges, &base, 4, &exec);
+        assert_eq!(a.checksum, b.checksum);
+        assert!(a.allocs > 0 && b.allocs > 0);
+    }
+
+    #[test]
+    fn pulse_engines_agree() {
+        let g = gen::gnm_connected(96, 240, 3, 1.0, 2.0);
+        let exec = Executor::shared(2);
+        let (old, new) = measure_pulse(&g, &exec, 3, 3.0, 5);
+        assert!(old.ns > 0 && new.ns > 0);
+    }
+}

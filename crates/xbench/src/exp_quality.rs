@@ -60,7 +60,6 @@ pub fn e6_ruling(cfg: &Config) {
                 threshold: thr,
                 hop_limit: 16,
                 record_paths: false,
-                extra_ids: &[],
             };
             let w: Vec<u32> = (0..g.num_vertices() as u32).collect();
             let mut led = Ledger::new();

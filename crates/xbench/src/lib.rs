@@ -10,9 +10,11 @@
 //! Run one: `cargo run --release -p xbench --bin repro -- e2-stretch`
 //! Quick mode (smaller sizes): append `--quick`.
 
+pub mod alloc;
 pub mod exp_ablation;
 pub mod exp_core;
 pub mod exp_end;
+pub mod exp_flat;
 pub mod exp_pool;
 pub mod exp_quality;
 pub mod table;
@@ -127,6 +129,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "runtime: dispatch latency, scoped spawn vs persistent pool",
             exp_pool::pool_overhead,
         ),
+        (
+            "flat-store",
+            "data plane: AoS scans + rebuckets vs SoA slices + label arena",
+            exp_flat::flat_store,
+        ),
     ]
 }
 
@@ -141,7 +148,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 19);
     }
 
     #[test]

@@ -101,7 +101,7 @@ fn determinism_across_thread_counts() {
     let c = run(8);
     for other in [&b, &c] {
         assert_eq!(a.hopset.len(), other.hopset.len());
-        for (x, y) in a.hopset.edges.iter().zip(&other.hopset.edges) {
+        for (x, y) in a.hopset.iter().zip(other.hopset.iter()) {
             assert_eq!((x.u, x.v, x.scale), (y.u, y.v, y.scale));
             assert_eq!(
                 x.w.to_bits(),
@@ -145,8 +145,8 @@ fn reduced_pipeline_end_to_end() {
         BuildOptions::default(),
     )
     .expect("params");
-    let overlay = reduced.hopset.overlay_all();
-    let view = UnionView::with_extra(&g, &overlay);
+    let sl = reduced.hopset.all_slice();
+    let view = UnionView::with_overlay_columns(&g, sl.us(), sl.vs(), sl.ws());
     let mut ledger = Ledger::new();
     let bf = pram::bellman_ford(
         &pram::Executor::current(),
@@ -234,7 +234,7 @@ fn reduced_pipeline_determinism_across_threads() {
     let b = run(4);
     assert_eq!(a.hopset.len(), b.hopset.len());
     assert_eq!(a.star_edges, b.star_edges);
-    for (x, y) in a.hopset.edges.iter().zip(&b.hopset.edges) {
+    for (x, y) in a.hopset.iter().zip(b.hopset.iter()) {
         assert_eq!((x.u, x.v, x.scale), (y.u, y.v, y.scale));
         assert_eq!(x.w.to_bits(), y.w.to_bits());
     }
@@ -268,8 +268,8 @@ fn hopset_serialization_through_public_api() {
     let mut buf = Vec::new();
     hopset::write_hopset(&built.hopset, &mut buf).unwrap();
     let loaded = hopset::read_hopset(buf.as_slice()).unwrap();
-    let v1 = UnionView::with_extra(&g, &built.hopset.overlay_all());
-    let v2 = UnionView::with_extra(&g, &loaded.overlay_all());
+    let v1 = UnionView::with_extra(&g, &built.hopset.all_slice().to_overlay_vec());
+    let v2 = UnionView::with_extra(&g, &loaded.all_slice().to_overlay_vec());
     let d1 = exact::bellman_ford_hops(&v1, &[3], p.query_hops);
     let d2 = exact::bellman_ford_hops(&v2, &[3], p.query_hops);
     assert_eq!(d1, d2);

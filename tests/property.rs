@@ -60,7 +60,7 @@ proptest! {
         let a = build_hopset(&g, &p, BuildOptions::default());
         let b = build_hopset(&g, &p, BuildOptions::default());
         prop_assert_eq!(a.hopset.len(), b.hopset.len());
-        for (x, y) in a.hopset.edges.iter().zip(&b.hopset.edges) {
+        for (x, y) in a.hopset.iter().zip(b.hopset.iter()) {
             prop_assert_eq!((x.u, x.v, x.scale), (y.u, y.v, y.scale));
             prop_assert_eq!(x.w.to_bits(), y.w.to_bits());
         }
