@@ -100,7 +100,7 @@ pub fn build_spt(g: &Graph, built: &BuiltHopset, source: VId) -> SptResult {
 /// Like [`build_spt`], but on an explicit executor and over a pre-built
 /// `G ∪ H` view whose overlay covers the whole hopset with global edge
 /// ids (`EdgeTag::Extra(i)` maps to hopset edge `i` — what
-/// [`Hopset::all_slice`]-derived CSRs and `overlay_all` both produce).
+/// [`Hopset::all_slice`]-derived CSRs produce).
 /// Long-lived query engines build the view once, own an executor, and
 /// call this per query.
 pub fn build_spt_on(

@@ -286,18 +286,6 @@ impl Hopset {
         self.scale_starts.iter().map(|&(s, _)| s)
     }
 
-    /// All edges as an overlay list for [`pgraph::UnionView`]; the overlay
-    /// index of edge `i` is exactly `i`, so `EdgeTag::Extra(i)` maps back to
-    /// edge `i`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates a triple list; use `all_slice()` (zero-copy columns) or \
-                `all_slice().to_overlay_vec()` where an owned list is genuinely needed"
-    )]
-    pub fn overlay_all(&self) -> Vec<(VId, VId, Weight)> {
-        self.all_slice().to_overlay_vec()
-    }
-
     /// Number of edges per scale, ascending by scale — consecutive-offset
     /// differences, no edge scan.
     pub fn size_by_scale(&self) -> Vec<(u32, usize)> {

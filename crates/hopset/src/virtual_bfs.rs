@@ -94,7 +94,7 @@ pub struct Explorer<'a> {
     pub exec: &'a Executor,
     /// The exploration graph `G_{k-1}`. Overlay entries must carry global
     /// hopset edge ids in their [`EdgeTag::Extra`] tags (scale-block CSRs
-    /// and `overlay_all`-shaped views both do).
+    /// and `all_slice()`-derived views both do).
     pub view: &'a UnionView<'a>,
     /// The clusters `P_i`.
     pub part: &'a Partition,

@@ -69,6 +69,39 @@ pub fn dijkstra_view(view: &UnionView<'_>, src: VId) -> SsspResult {
     SsspResult { dist, parent }
 }
 
+/// Point-to-point Dijkstra with pop-`target` early termination: when the
+/// heap pops `target`, its label is final (the classical settled-vertex
+/// invariant under positive weights), so the search stops there instead of
+/// draining the heap. Labels are only ever overwritten by strict
+/// improvements, so the answer is **bit-identical** to
+/// `dijkstra(g, src).dist[target]` — including `INF` for unreachable
+/// targets (the heap drains without popping `target`).
+pub fn dijkstra_to(g: &Graph, src: VId, target: VId) -> Weight {
+    let view = UnionView::base_only(g);
+    let n = view.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut heap: BinaryHeap<Reverse<(u64, VId)>> = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((dk, u))) = heap.pop() {
+        let du = key_to_f64(dk);
+        if du > dist[u as usize] {
+            continue;
+        }
+        if u == target {
+            return du;
+        }
+        view.for_each_neighbor(u, |v, w, _| {
+            let nd = du + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((f64_to_key(nd), v)));
+            }
+        });
+    }
+    dist[target as usize]
+}
+
 /// Dijkstra truncated at distance `limit`: vertices farther than `limit`
 /// keep `INF`. Used to compute exact distances only inside a scale.
 pub fn dijkstra_truncated(view: &UnionView<'_>, src: VId, limit: Weight) -> Vec<Weight> {
@@ -221,6 +254,21 @@ mod tests {
         let view = UnionView::with_extra(&g, &extra);
         let r = dijkstra_view(&view, 0);
         assert_eq!(r.dist[3], 2.0);
+    }
+
+    #[test]
+    fn dijkstra_to_matches_full_run_bit_for_bit() {
+        let g = gen::gnm(64, 192, 42, 1.0, 8.0);
+        let full = dijkstra(&g, 5).dist;
+        for target in [0u32, 5, 31, 63] {
+            let d = dijkstra_to(&g, 5, target);
+            assert_eq!(d.to_bits(), full[target as usize].to_bits(), "t={target}");
+        }
+        // Unreachable target reports INF like the full run.
+        let g2 = Graph::from_edges(3, [(0, 1, 1.0)]).unwrap();
+        assert_eq!(dijkstra_to(&g2, 0, 2), INF);
+        // Source-as-target is 0.0 without any relaxation.
+        assert_eq!(dijkstra_to(&g2, 0, 0).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

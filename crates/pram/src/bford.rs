@@ -63,36 +63,110 @@ impl BellmanFordResult {
     }
 }
 
-/// Run a hop-limited multi-source Bellman–Ford exploration.
+/// Reusable buffers for repeated explorations over graphs of the same
+/// size: the three `n`-sized arrays (distances, parents, per-round
+/// updates) live here, so a serving batch pays one allocation set for the
+/// whole batch instead of one per query ([`bellman_ford_into`]).
+#[derive(Clone, Debug, Default)]
+pub struct BfordScratch {
+    dist: Vec<Weight>,
+    parent: Vec<Option<ParentEdge>>,
+    updates: Vec<Option<(Weight, ParentEdge)>>,
+}
+
+impl BfordScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distance row written by the last exploration run on this
+    /// scratch (`d^{(h)}` of eq. (1)).
+    #[inline]
+    pub fn dist(&self) -> &[Weight] {
+        &self.dist
+    }
+
+    /// The parent row written by the last exploration.
+    #[inline]
+    pub fn parent(&self) -> &[Option<ParentEdge>] {
+        &self.parent
+    }
+
+    fn reset(&mut self, n: usize, sources: &[VId]) {
+        self.dist.clear();
+        self.dist.resize(n, INF);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.updates.clear();
+        self.updates.resize(n, None);
+        for &s in sources {
+            self.dist[s as usize] = 0.0;
+        }
+    }
+}
+
+/// Result of a target-aware exploration ([`bellman_ford_to`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TargetResult {
+    /// `d^{(β)}(S, target)` — bit-identical to the full run's value at the
+    /// target (the settle criterion only ever stops rounds that provably
+    /// cannot change it).
+    pub dist: Weight,
+    /// Rounds actually executed (≤ the requested hop limit).
+    pub rounds_run: usize,
+    /// Whether the run stopped before exhausting the hop budget (the
+    /// target settled, or the whole exploration converged).
+    pub settled_early: bool,
+}
+
+/// The shared round loop. With `target = Some(t)` it additionally applies
+/// the serving-plane settle criterion (DESIGN.md §9): stop after round `r`
+/// once `dist[t]` is finite and `min_changed_r ≥ dist[t]`, where
+/// `min_changed_r` is the smallest distance written in round `r`. Safety:
+/// a pull-update can only apply through a neighbor whose distance changed
+/// in the previous round (an unchanged neighbor's candidate was already
+/// considered and rejected), so every distance written after round `r` is
+/// `> min_changed_r` — edge weights are strictly positive, a `pgraph`
+/// construction invariant — and therefore can never undercut `dist[t]`.
+/// The early answer is the full-β answer bit for bit.
 ///
-/// * `exec` — the pool the per-round relaxations run on;
-/// * `view` — the graph `G ∪ H` (overlay = hopset);
-/// * `sources` — the set `S` (Theorem 3.8's aMSSD sources);
-/// * `max_hops` — the hop budget `β`;
-/// * `ledger` — charged one step of `O(|E∪H| + n)` work per round.
-pub fn bellman_ford(
+/// Returns `(rounds_run, converged_at, settled_early)`.
+fn explore(
     exec: &Executor,
     view: &UnionView<'_>,
     sources: &[VId],
+    target: Option<VId>,
     max_hops: usize,
     ledger: &mut Ledger,
-) -> BellmanFordResult {
+    scratch: &mut BfordScratch,
+) -> (usize, Option<usize>, bool) {
     let n = view.num_vertices();
-    let mut dist = vec![INF; n];
-    let mut parent: Vec<Option<ParentEdge>> = vec![None; n];
-    for &s in sources {
-        dist[s as usize] = 0.0;
+    scratch.reset(n, sources);
+    if let Some(t) = target {
+        // A target at distance 0 (it is a source) can never improve:
+        // every candidate is a positive-weight path sum.
+        if scratch.dist[t as usize] == 0.0 {
+            return (0, None, true);
+        }
     }
     let edge_slots = 2 * view.num_edges() as u64;
     let mut rounds_run = 0usize;
     let mut converged_at = None;
+    let mut settled = false;
 
     for round in 1..=max_hops {
         ledger.step(edge_slots + n as u64);
         // Each vertex pulls the best (distance, parent) over its neighbors,
-        // reading only the previous round's distances.
-        let prev = &dist;
-        let updates: Vec<Option<(Weight, ParentEdge)>> = prim::par_map_range(exec, n, |v| {
+        // reading only the previous round's distances (double buffering:
+        // `updates` is the write side, applied below in vertex order).
+        let BfordScratch {
+            dist,
+            parent,
+            updates,
+        } = scratch;
+        let prev: &[Weight] = dist;
+        prim::par_fill(exec, updates, |v| {
             let vid = v as VId;
             let mut best: Option<(Weight, ParentEdge)> = None;
             view.for_each_neighbor(vid, |u, w, tag| {
@@ -120,11 +194,15 @@ pub fn bellman_ford(
             best
         });
         let mut changed = false;
+        let mut min_changed = INF;
         for v in 0..n {
             if let Some((nd, pe)) = updates[v] {
                 dist[v] = nd;
                 parent[v] = Some(pe);
                 changed = true;
+                if nd < min_changed {
+                    min_changed = nd;
+                }
             }
         }
         rounds_run = round;
@@ -132,12 +210,90 @@ pub fn bellman_ford(
             converged_at = Some(round);
             break;
         }
+        if let Some(t) = target {
+            let dt = dist[t as usize];
+            if dt.is_finite() && min_changed >= dt {
+                settled = true;
+                break;
+            }
+        }
     }
+    (rounds_run, converged_at, settled)
+}
+
+/// Run a hop-limited multi-source Bellman–Ford exploration.
+///
+/// * `exec` — the pool the per-round relaxations run on;
+/// * `view` — the graph `G ∪ H` (overlay = hopset);
+/// * `sources` — the set `S` (Theorem 3.8's aMSSD sources);
+/// * `max_hops` — the hop budget `β`;
+/// * `ledger` — charged one step of `O(|E∪H| + n)` work per round.
+pub fn bellman_ford(
+    exec: &Executor,
+    view: &UnionView<'_>,
+    sources: &[VId],
+    max_hops: usize,
+    ledger: &mut Ledger,
+) -> BellmanFordResult {
+    let mut scratch = BfordScratch::new();
+    let (rounds_run, converged_at) =
+        bellman_ford_into(exec, view, sources, max_hops, ledger, &mut scratch);
     BellmanFordResult {
-        dist,
-        parent,
+        dist: scratch.dist,
+        parent: scratch.parent,
         rounds_run,
         converged_at,
+    }
+}
+
+/// Like [`bellman_ford`], writing into caller-owned [`BfordScratch`]
+/// buffers (read the row back with [`BfordScratch::dist`]). A request
+/// batch reuses one scratch across all its explorations — the serving
+/// path of `sssp::Oracle::distances_multi`. Returns
+/// `(rounds_run, converged_at)`; results are bit-identical to
+/// [`bellman_ford`].
+pub fn bellman_ford_into(
+    exec: &Executor,
+    view: &UnionView<'_>,
+    sources: &[VId],
+    max_hops: usize,
+    ledger: &mut Ledger,
+    scratch: &mut BfordScratch,
+) -> (usize, Option<usize>) {
+    let (rounds_run, converged_at, _) =
+        explore(exec, view, sources, None, max_hops, ledger, scratch);
+    (rounds_run, converged_at)
+}
+
+/// Point-to-point exploration with early exit: identical rounds to
+/// [`bellman_ford`], but the loop stops as soon as the target's label has
+/// provably settled (the settle criterion is documented on the internal
+/// `explore` loop; DESIGN.md §9 has the
+/// proof sketch). The returned distance is **bit-identical** to
+/// `bellman_ford(..).dist[target]` — only the number of rounds (and hence
+/// the ledger's charge, which reflects work actually done) can shrink.
+pub fn bellman_ford_to(
+    exec: &Executor,
+    view: &UnionView<'_>,
+    sources: &[VId],
+    target: VId,
+    max_hops: usize,
+    ledger: &mut Ledger,
+) -> TargetResult {
+    let mut scratch = BfordScratch::new();
+    let (rounds_run, converged_at, settled) = explore(
+        exec,
+        view,
+        sources,
+        Some(target),
+        max_hops,
+        ledger,
+        &mut scratch,
+    );
+    TargetResult {
+        dist: scratch.dist[target as usize],
+        rounds_run,
+        settled_early: settled || converged_at.is_some(),
     }
 }
 
@@ -272,5 +428,94 @@ mod tests {
         let r = bellman_ford(&exec(), &view, &[0], 10, &mut l);
         assert_eq!(r.dist[2], INF);
         assert_eq!(r.hops_to(2), None);
+    }
+
+    /// The settle criterion: early-exit p2p answers are bit-identical to
+    /// the full run's target entry, across graphs, sources, targets and
+    /// hop budgets.
+    #[test]
+    fn target_early_exit_bit_identical_to_full_run() {
+        for seed in [3u64, 9, 21] {
+            let g = gen::gnm_connected(90, 270, seed, 1.0, 8.0);
+            let view = UnionView::base_only(&g);
+            for hops in [1usize, 3, 8, 90] {
+                let mut lf = Ledger::new();
+                let full = bellman_ford(&exec(), &view, &[5], hops, &mut lf);
+                for target in [0u32, 5, 44, 89] {
+                    let mut lt = Ledger::new();
+                    let p2p = bellman_ford_to(&exec(), &view, &[5], target, hops, &mut lt);
+                    assert_eq!(
+                        p2p.dist.to_bits(),
+                        full.dist[target as usize].to_bits(),
+                        "seed={seed} hops={hops} target={target}"
+                    );
+                    assert!(p2p.rounds_run <= full.rounds_run);
+                }
+            }
+        }
+    }
+
+    /// A nearby target settles long before the hop budget runs out.
+    #[test]
+    fn target_early_exit_actually_cuts_rounds() {
+        let g = gen::path(64); // 0-1-...-63
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford_to(&exec(), &view, &[0], 3, 64, &mut l);
+        assert_eq!(r.dist, 3.0);
+        assert!(r.settled_early);
+        // Settling needs the frontier to pass the target: a handful of
+        // rounds, not 64.
+        assert!(r.rounds_run < 10, "rounds_run={}", r.rounds_run);
+        // The ledger reflects the rounds actually run.
+        assert_eq!(l.depth(), r.rounds_run as u64);
+    }
+
+    /// target ∈ sources: label 0.0 is final before any round runs.
+    #[test]
+    fn target_is_source_settles_at_round_zero() {
+        let g = gen::path(8);
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford_to(&exec(), &view, &[2], 2, 8, &mut l);
+        assert_eq!(r.dist.to_bits(), 0.0f64.to_bits());
+        assert_eq!(r.rounds_run, 0);
+        assert!(r.settled_early);
+        assert_eq!(l.depth(), 0);
+    }
+
+    /// An unreachable target never settles early (short of convergence)
+    /// and reports INF, like the full run.
+    #[test]
+    fn unreachable_target_matches_full_run() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0)]).unwrap();
+        let view = UnionView::base_only(&g);
+        let mut l = Ledger::new();
+        let r = bellman_ford_to(&exec(), &view, &[0], 3, 10, &mut l);
+        assert_eq!(r.dist, INF);
+        assert!(r.settled_early); // via whole-exploration convergence
+    }
+
+    /// Scratch reuse: back-to-back explorations through one scratch give
+    /// the same bits as fresh runs (no state leaks between requests).
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let g = gen::gnm_connected(70, 210, 13, 1.0, 6.0);
+        let view = UnionView::base_only(&g);
+        let mut scratch = BfordScratch::new();
+        for src in [0u32, 33, 69, 7] {
+            let mut l1 = Ledger::new();
+            let (rounds, conv) =
+                bellman_ford_into(&exec(), &view, &[src], 70, &mut l1, &mut scratch);
+            let mut l2 = Ledger::new();
+            let fresh = bellman_ford(&exec(), &view, &[src], 70, &mut l2);
+            assert_eq!(rounds, fresh.rounds_run, "src={src}");
+            assert_eq!(conv, fresh.converged_at);
+            for (a, b) in scratch.dist().iter().zip(&fresh.dist) {
+                assert_eq!(a.to_bits(), b.to_bits(), "src={src}");
+            }
+            assert_eq!(scratch.parent(), &fresh.parent[..]);
+            assert_eq!(l1, l2);
+        }
     }
 }

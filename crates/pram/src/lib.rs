@@ -50,7 +50,10 @@ pub mod prim;
 pub mod scan;
 pub mod sort;
 
-pub use bford::{bellman_ford, BellmanFordResult, ParentEdge};
+pub use bford::{
+    bellman_ford, bellman_ford_into, bellman_ford_to, BellmanFordResult, BfordScratch, ParentEdge,
+    TargetResult,
+};
 pub use cc::{connected_components, spanning_forest, CcResult};
 pub use jump::pointer_jump_distances;
 pub use ledger::Ledger;

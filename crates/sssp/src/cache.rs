@@ -1,0 +1,360 @@
+//! The serving-layer source cache: a bounded, deterministic LRU over
+//! distance rows.
+//!
+//! "Build once, answer many" only pays off if *answering* is cheap, and
+//! real query traffic is skewed: a handful of hot sources receive most of
+//! the load. [`CachedOracle`] wraps any [`DistanceOracle`] and keeps the
+//! rows of the most recently used sources behind `Arc`s, so a hit is one
+//! mutex-protected scan of a tiny table plus an `Arc` clone — no
+//! exploration at all — while misses delegate to the wrapped backend and
+//! fill the cache.
+//!
+//! Determinism is part of the contract (DESIGN.md §9):
+//!
+//! * **answers** — a cached row is the backend's row, stored verbatim
+//!   (including its query [`Ledger`]); hits are bit-identical to cold
+//!   queries because nothing is recomputed;
+//! * **eviction** — strict LRU over a bounded table. The hit/miss/evict
+//!   trace is a pure function of the request sequence and the capacity;
+//!   concurrency changes only the interleaving of requests, never the
+//!   answer any request receives.
+//!
+//! ```
+//! use pgraph::gen;
+//! use sssp::{CachedOracle, DistanceOracle, Oracle};
+//!
+//! let g = gen::road_grid(8, 8, 3, 1.0, 6.0);
+//! let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+//! let served = CachedOracle::new(oracle, 4).unwrap();
+//! let cold = served.distances_from(0).unwrap(); // miss: fills the cache
+//! let warm = served.distances_from(0).unwrap(); // hit: the cached row
+//! assert_eq!(cold, warm);
+//! assert_eq!(served.stats().hits, 1);
+//! ```
+
+use crate::oracle::{check_source, DistanceOracle, MultiSourceResult, SsspError};
+use pgraph::{VId, Weight};
+use pram::Ledger;
+use std::sync::{Arc, Mutex};
+
+/// One cached source row: the backend's distances **and** its query
+/// ledger, stored verbatim so a hit reproduces the cold answer exactly
+/// (including batch cost accounting through
+/// [`DistanceOracle::distances_multi`]).
+#[derive(Clone, Debug)]
+pub struct CachedRow {
+    dist: Vec<Weight>,
+    ledger: Ledger,
+}
+
+impl CachedRow {
+    /// The cached distance row.
+    #[inline]
+    pub fn dist(&self) -> &[Weight] {
+        &self.dist
+    }
+
+    /// The query ledger of the exploration that produced the row.
+    #[inline]
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+}
+
+/// A point-in-time snapshot of the cache counters
+/// ([`CachedOracle::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a cached row.
+    pub hits: u64,
+    /// Requests that had to consult the wrapped backend.
+    pub misses: u64,
+    /// Rows evicted to make room (strict LRU order).
+    pub evictions: u64,
+    /// Rows currently resident.
+    pub len: usize,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
+/// Everything the mutex guards: the LRU table (most recently used at the
+/// back; the table is deliberately tiny, so linear scans beat any pointer
+/// structure) plus the counters.
+#[derive(Debug)]
+struct CacheState {
+    entries: Vec<(VId, Arc<CachedRow>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, deterministic LRU source cache over any [`DistanceOracle`].
+///
+/// `CachedOracle` is `Send + Sync` whenever the wrapped backend is: rows
+/// are `Arc`-swapped (readers keep their `Arc` across evictions; the lock
+/// is never held during an exploration), so an `Arc<CachedOracle<_>>` can
+/// serve concurrent mixed hit/miss traffic. See the module docs for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct CachedOracle<O> {
+    inner: O,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl<O: DistanceOracle> CachedOracle<O> {
+    /// Wrap `inner` with a cache holding at most `capacity ≥ 1` rows.
+    pub fn new(inner: O, capacity: usize) -> Result<Self, SsspError> {
+        if capacity == 0 {
+            return Err(SsspError::Config(
+                "source cache capacity must be at least 1 row".into(),
+            ));
+        }
+        Ok(CachedOracle {
+            inner,
+            capacity,
+            state: Mutex::new(CacheState {
+                entries: Vec::with_capacity(capacity),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        })
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The configured row bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot the hit/miss/eviction counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let s = self.state.lock().unwrap();
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            len: s.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every cached row (counters are kept — they describe the whole
+    /// lifetime of the cache).
+    pub fn clear(&self) {
+        self.state.lock().unwrap().entries.clear();
+    }
+
+    /// The serving entry point: the row for `source`, shared, plus whether
+    /// it was a cache hit. Misses compute **outside** the lock (concurrent
+    /// requests for other sources proceed) and then fill the cache,
+    /// evicting the least recently used row if the table is full.
+    pub fn row(&self, source: VId) -> Result<(Arc<CachedRow>, bool), SsspError> {
+        if let Some(row) = self.lookup(source) {
+            return Ok((row, true));
+        }
+        let (dist, ledger) = self.inner.distances_from_with_ledger(source)?;
+        Ok((self.insert(source, CachedRow { dist, ledger }), false))
+    }
+
+    /// Hit path: scan, refresh recency, count. `None` counts a miss.
+    fn lookup(&self, source: VId) -> Option<Arc<CachedRow>> {
+        let mut s = self.state.lock().unwrap();
+        if let Some(i) = s.entries.iter().position(|(v, _)| *v == source) {
+            let entry = s.entries.remove(i);
+            let row = Arc::clone(&entry.1);
+            s.entries.push(entry);
+            s.hits += 1;
+            Some(row)
+        } else {
+            s.misses += 1;
+            None
+        }
+    }
+
+    /// Fill path after a miss computed outside the lock. If a concurrent
+    /// miss for the same source filled the table first, its row wins (rows
+    /// for one source are bit-identical by the determinism contract, so
+    /// the choice is unobservable in answers) and only its recency is
+    /// refreshed.
+    fn insert(&self, source: VId, row: CachedRow) -> Arc<CachedRow> {
+        let mut s = self.state.lock().unwrap();
+        if let Some(i) = s.entries.iter().position(|(v, _)| *v == source) {
+            let entry = s.entries.remove(i);
+            let row = Arc::clone(&entry.1);
+            s.entries.push(entry);
+            return row;
+        }
+        if s.entries.len() == self.capacity {
+            s.entries.remove(0); // least recently used; readers keep their Arc
+            s.evictions += 1;
+        }
+        let row = Arc::new(row);
+        s.entries.push((source, Arc::clone(&row)));
+        row
+    }
+}
+
+impl<O: DistanceOracle> DistanceOracle for CachedOracle<O> {
+    fn name(&self) -> &'static str {
+        "cached"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        self.inner.stretch_bound()
+    }
+
+    fn cost(&self) -> &Ledger {
+        self.inner.cost()
+    }
+
+    fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
+        let (row, _hit) = self.row(source)?;
+        Ok((row.dist.clone(), row.ledger.clone()))
+    }
+
+    /// Mixed hit/miss batches go row by row through the cache (hits are
+    /// free, misses fill), merged in source order like every other
+    /// backend.
+    fn distances_multi(&self, sources: &[VId]) -> Result<MultiSourceResult, SsspError> {
+        let n = self.num_vertices();
+        let mut dist = crate::DistanceMatrix::with_capacity(sources.len(), n);
+        let mut ledger = Ledger::new();
+        for &s in sources {
+            let (row, _hit) = self.row(s)?;
+            ledger.absorb_parallel(&row.ledger);
+            dist.push_row(&row.dist);
+        }
+        Ok(MultiSourceResult {
+            dist,
+            sources: sources.to_vec(),
+            ledger,
+        })
+    }
+
+    /// Nearest-source queries are not per-source row queries — delegate to
+    /// the backend (the hopset engine answers them in **one** multi-source
+    /// exploration) without touching the cache.
+    fn distances_to_nearest(&self, sources: &[VId]) -> Result<Vec<Weight>, SsspError> {
+        self.inner.distances_to_nearest(sources)
+    }
+
+    /// Point-to-point: a resident row for `u` answers immediately (and
+    /// refreshes its recency); otherwise delegate to the backend's
+    /// early-exit `distance` **without** filling the cache — a p2p miss
+    /// never pays for (or evicts in favor of) a full row it did not
+    /// compute. Both paths are bit-identical to `distances_from(u)[v]` by
+    /// the serving contract.
+    fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
+        check_source(self.num_vertices(), v)?;
+        if let Some(row) = self.lookup(u) {
+            return Ok(row.dist[v as usize]);
+        }
+        self.inner.distance(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Oracle;
+    use pgraph::gen;
+
+    fn served() -> CachedOracle<Oracle> {
+        let g = gen::gnm_connected(100, 300, 7, 1.0, 8.0);
+        let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+        CachedOracle::new(oracle, 2).unwrap()
+    }
+
+    #[test]
+    fn capacity_zero_is_a_config_error() {
+        let g = gen::path(8);
+        let oracle = Oracle::builder(g).build().unwrap();
+        assert!(matches!(
+            CachedOracle::new(oracle, 0),
+            Err(SsspError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn hits_are_bit_identical_and_counted() {
+        let c = served();
+        let cold = c.distances_from(5).unwrap();
+        let reference = c.inner().distances_from(5).unwrap();
+        let warm = c.distances_from(5).unwrap();
+        for ((a, b), r) in cold.iter().zip(&warm).zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), r.to_bits());
+        }
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_is_strict_and_counted() {
+        let c = served(); // capacity 2
+        assert!(!c.row(0).unwrap().1);
+        assert!(!c.row(1).unwrap().1);
+        assert!(c.row(0).unwrap().1); // refreshes 0's recency: LRU is now 1
+        assert!(!c.row(2).unwrap().1); // evicts 1
+        assert!(c.row(0).unwrap().1); // 0 survived
+        assert!(!c.row(1).unwrap().1); // 1 was evicted (evicts 2)
+        let st = c.stats();
+        assert_eq!(st.evictions, 2);
+        assert_eq!(st.len, 2);
+        assert_eq!(st.capacity, 2);
+    }
+
+    #[test]
+    fn p2p_hits_read_the_row_and_misses_do_not_fill() {
+        let c = served();
+        let reference = c.inner().distances_from(3).unwrap();
+        // Miss path: no row resident, delegates, does not fill.
+        let d = c.distance(3, 40).unwrap();
+        assert_eq!(d.to_bits(), reference[40].to_bits());
+        assert_eq!(c.stats().len, 0);
+        // Fill, then the p2p answer comes from the row (hit counted).
+        c.row(3).unwrap();
+        let hits_before = c.stats().hits;
+        let d2 = c.distance(3, 40).unwrap();
+        assert_eq!(d2.to_bits(), reference[40].to_bits());
+        assert_eq!(c.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn ledgers_are_cached_with_rows() {
+        let c = served();
+        let (_, cold_ledger) = c.distances_from_with_ledger(9).unwrap();
+        let (_, warm_ledger) = c.distances_from_with_ledger(9).unwrap();
+        assert_eq!(cold_ledger, warm_ledger);
+        // Batches over hits reproduce cold batch ledgers exactly.
+        let warm_batch = c.distances_multi(&[9]).unwrap();
+        assert_eq!(warm_batch.ledger, cold_ledger);
+    }
+
+    #[test]
+    fn invalid_sources_do_not_poison_the_cache() {
+        let c = served();
+        assert!(matches!(
+            c.row(999),
+            Err(SsspError::InvalidSource { source: 999, .. })
+        ));
+        assert!(matches!(
+            c.distance(0, 999),
+            Err(SsspError::InvalidSource { .. })
+        ));
+        // The failed miss was counted, but nothing was inserted.
+        let st = c.stats();
+        assert_eq!(st.len, 0);
+        assert_eq!(st.misses, 1);
+    }
+}

@@ -45,6 +45,55 @@ pub fn delta_stepping_on(
     source: VId,
     delta: Weight,
 ) -> DeltaSteppingResult {
+    run(exec, g, source, None, delta).0
+}
+
+/// Result of a target-aware Δ-stepping run ([`delta_stepping_to_on`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaSteppingTargetResult {
+    /// Exact distance `source → target`, bit-identical to the full run's
+    /// `dist[target]`.
+    pub dist: Weight,
+    /// Buckets actually processed (≤ the full run's count).
+    pub buckets: usize,
+    /// Whether the settled-bucket criterion stopped the run before all
+    /// buckets drained.
+    pub settled_early: bool,
+}
+
+/// Point-to-point Δ-stepping with early exit on the settled-bucket
+/// invariant: when the next bucket to process is `b`, every tentative
+/// distance in a bucket `< b` is final — all later relaxations originate
+/// from labels `≥ b·Δ` plus a strictly positive weight, so they write only
+/// values `> b·Δ`. The moment the target's tentative label falls in a
+/// bucket below `b` the run stops; updates apply only on strict
+/// improvement, so the full run never rewrites that label and the early
+/// answer is bit-identical (the pop-`v` termination of DESIGN.md §9, in
+/// bucket form).
+pub fn delta_stepping_to_on(
+    exec: &Executor,
+    g: &Graph,
+    source: VId,
+    target: VId,
+    delta: Weight,
+) -> DeltaSteppingTargetResult {
+    let (r, settled_early) = run(exec, g, source, Some(target), delta);
+    DeltaSteppingTargetResult {
+        dist: r.dist[target as usize],
+        buckets: r.buckets,
+        settled_early,
+    }
+}
+
+/// The shared bucket loop; with `target = Some(t)` it stops (returning
+/// `true` in the second slot) once `t`'s label is provably final.
+fn run(
+    exec: &Executor,
+    g: &Graph,
+    source: VId,
+    target: Option<VId>,
+    delta: Weight,
+) -> (DeltaSteppingResult, bool) {
     assert!(delta > 0.0 && delta.is_finite());
     let n = g.num_vertices();
     let mut ledger = Ledger::new();
@@ -55,6 +104,7 @@ pub fn delta_stepping_on(
     let mut current_bucket = 0usize;
     let mut buckets = 0usize;
     let mut light_rounds = 0usize;
+    let mut settled_early = false;
 
     loop {
         // Find the next non-empty bucket.
@@ -65,6 +115,15 @@ pub fn delta_stepping_on(
             .filter(|&b| b >= current_bucket)
             .min();
         let Some(b) = next else { break };
+        // Settled-bucket early exit: the target's label sits strictly
+        // below the bucket about to be processed — it is final.
+        if let Some(t) = target {
+            let dt = dist[t as usize];
+            if dt.is_finite() && bucket_of(dt) < b {
+                settled_early = true;
+                break;
+            }
+        }
         buckets += 1;
 
         // Settle the bucket with light-edge rounds.
@@ -128,12 +187,15 @@ pub fn delta_stepping_on(
         current_bucket = b + 1;
     }
 
-    DeltaSteppingResult {
-        dist,
-        buckets,
-        light_rounds,
-        ledger,
-    }
+    (
+        DeltaSteppingResult {
+            dist,
+            buckets,
+            light_rounds,
+            ledger,
+        },
+        settled_early,
+    )
 }
 
 /// A standard width heuristic: Δ = max weight / average degree, clamped to
@@ -217,6 +279,51 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
             }
         }
+    }
+
+    /// Settled-bucket early exit: bit-identical to the full run's target
+    /// entry, on every graph/Δ/target combination tried.
+    #[test]
+    fn target_early_exit_bit_identical_to_full_run() {
+        let exec = Executor::shared(2);
+        for seed in [1u64, 7] {
+            let g = gen::gnm_connected(90, 270, seed, 1.0, 9.0);
+            for delta in [0.5, 2.0, 10.0] {
+                let full = delta_stepping_on(&exec, &g, 0, delta);
+                for target in [0u32, 3, 45, 89] {
+                    let r = delta_stepping_to_on(&exec, &g, 0, target, delta);
+                    assert_eq!(
+                        r.dist.to_bits(),
+                        full.dist[target as usize].to_bits(),
+                        "seed={seed} delta={delta} target={target}"
+                    );
+                    assert!(r.buckets <= full.buckets);
+                }
+            }
+        }
+    }
+
+    /// A nearby target on a long path stops after a few buckets, not
+    /// diameter/Δ of them.
+    #[test]
+    fn target_early_exit_cuts_buckets_on_a_path() {
+        let exec = Executor::shared(2);
+        let g = gen::path(512);
+        let full = delta_stepping_on(&exec, &g, 0, 1.0);
+        let r = delta_stepping_to_on(&exec, &g, 0, 4, 1.0);
+        assert_eq!(r.dist, 4.0);
+        assert!(r.settled_early);
+        assert!(
+            r.buckets * 8 < full.buckets,
+            "{} vs {}",
+            r.buckets,
+            full.buckets
+        );
+        // Unreachable target: no early settle, INF answer.
+        let g2 = Graph::from_edges(4, [(0, 1, 1.0)]).unwrap();
+        let r2 = delta_stepping_to_on(&exec, &g2, 0, 3, 1.0);
+        assert_eq!(r2.dist, INF);
+        assert!(!r2.settled_early);
     }
 
     #[test]

@@ -29,12 +29,14 @@
 
 pub mod assd;
 pub mod baseline;
+pub mod cache;
 pub mod delta_stepping;
 pub mod eval;
 pub mod oracle;
 pub mod spt;
 
 pub use assd::ApproxShortestPaths;
+pub use cache::{CacheStats, CachedOracle, CachedRow};
 pub use delta_stepping::{delta_stepping, DeltaSteppingResult};
 pub use eval::{stretch_vs_hops, HopCurvePoint};
 pub use oracle::{

@@ -116,7 +116,7 @@ impl From<ParamError> for SsspError {
 }
 
 #[inline]
-fn check_source(n: usize, v: VId) -> Result<(), SsspError> {
+pub(crate) fn check_source(n: usize, v: VId) -> Result<(), SsspError> {
     if (v as usize) < n {
         Ok(())
     } else {
@@ -296,10 +296,55 @@ pub trait DistanceOracle: Send + Sync {
         Ok(best)
     }
 
-    /// Point-to-point distance `u → v`.
+    /// Point-to-point distance `u → v`. The default computes a full row;
+    /// backends override it with early-exit variants that are
+    /// **bit-identical** to `distances_from(u)[v]` (the serving contract,
+    /// DESIGN.md §9).
     fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
         check_source(self.num_vertices(), v)?;
         Ok(self.distances_from(u)?[v as usize])
+    }
+}
+
+/// Sharing an oracle behind an `Arc` keeps the trait surface: every method
+/// delegates, so backend overrides (early-exit `distance`, batched
+/// `distances_multi`, single-pass `distances_to_nearest`) stay in effect —
+/// the shape the serving layer ([`crate::CachedOracle`]) composes over.
+impl<T: DistanceOracle + ?Sized> DistanceOracle for Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn stretch_bound(&self) -> f64 {
+        (**self).stretch_bound()
+    }
+
+    fn cost(&self) -> &Ledger {
+        (**self).cost()
+    }
+
+    fn distances_from_with_ledger(&self, source: VId) -> Result<(Vec<Weight>, Ledger), SsspError> {
+        (**self).distances_from_with_ledger(source)
+    }
+
+    fn distances_from(&self, source: VId) -> Result<Vec<Weight>, SsspError> {
+        (**self).distances_from(source)
+    }
+
+    fn distances_multi(&self, sources: &[VId]) -> Result<MultiSourceResult, SsspError> {
+        (**self).distances_multi(sources)
+    }
+
+    fn distances_to_nearest(&self, sources: &[VId]) -> Result<Vec<Weight>, SsspError> {
+        (**self).distances_to_nearest(sources)
+    }
+
+    fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
+        (**self).distance(u, v)
     }
 }
 
@@ -701,46 +746,62 @@ impl DistanceOracle for Oracle {
         Ok((r.dist, ledger))
     }
 
-    /// `|S|` independent β-hop explorations over the shared union CSR.
-    /// On graphs below `PAR_THRESHOLD` vertices (where the per-round
-    /// primitives stay sequential) the pool fans out **across sources**
-    /// instead — coarse `task_bounds` chunks of the source list, rows
-    /// collected in source order, so the result is bit-identical either
-    /// way. The batch is *charged* as parallel on the ledger regardless
-    /// (Theorem 3.8: work adds, depth does not — the PRAM claim is the
-    /// counted one).
+    /// `|S|` independent β-hop explorations, batched: **one** union view
+    /// and **one** reusable [`bford::BfordScratch`] serve the whole
+    /// request batch instead of reallocating per source. On graphs below
+    /// `PAR_THRESHOLD` vertices (where the per-round primitives stay
+    /// sequential) the pool fans out **across sources** instead — coarse
+    /// `task_bounds` chunks of the source list, one scratch per chunk,
+    /// rows merged in source order (chunks are contiguous and increasing),
+    /// so the result is bit-identical either way. The batch is *charged*
+    /// as parallel on the ledger regardless (Theorem 3.8: work adds,
+    /// depth does not — the PRAM claim is the counted one).
     fn distances_multi(&self, sources: &[VId]) -> Result<MultiSourceResult, SsspError> {
         let n = self.num_vertices();
         for &s in sources {
             check_source(n, s)?;
         }
         let hops = self.query_hops;
-        let explore = |s: VId| {
-            let mut ledger = Ledger::new();
-            // Inside a cross-source fan-out the per-round primitives
-            // collapse to sequential on the same executor (nested rounds
-            // never spawn or deadlock).
-            let r = bford::bellman_ford(&self.exec, &self.union.view(), &[s], hops, &mut ledger);
-            (r.dist, ledger)
-        };
-        let per_source: Vec<(Vec<Weight>, Ledger)> =
-            if n < pool::PAR_THRESHOLD && sources.len() > 1 && self.exec.effective_threads() > 1 {
-                let bounds = self.exec.task_bounds(sources.len());
-                self.exec
-                    .run_chunks(&bounds, |r| {
-                        r.map(|i| explore(sources[i])).collect::<Vec<_>>()
-                    })
-                    .into_iter()
-                    .flatten()
-                    .collect()
-            } else {
-                sources.iter().map(|&s| explore(s)).collect()
-            };
+        // The overlay traversal state is amortized across the batch: the
+        // view is materialized once, outside the per-source loop.
+        let view = self.union.view();
         let mut ledger = Ledger::new();
         let mut dist = DistanceMatrix::with_capacity(sources.len(), n);
-        for (row, l) in &per_source {
-            ledger.absorb_parallel(l);
-            dist.push_row(row);
+        if n < pool::PAR_THRESHOLD && sources.len() > 1 && self.exec.effective_threads() > 1 {
+            let bounds = self.exec.task_bounds(sources.len());
+            let per_chunk = self.exec.run_chunks(&bounds, |r| {
+                // Inside a cross-source fan-out the per-round primitives
+                // collapse to sequential on the same executor (nested
+                // rounds never spawn or deadlock).
+                let mut scratch = bford::BfordScratch::new();
+                r.map(|i| {
+                    let mut l = Ledger::new();
+                    bford::bellman_ford_into(
+                        &self.exec,
+                        &view,
+                        &[sources[i]],
+                        hops,
+                        &mut l,
+                        &mut scratch,
+                    );
+                    (scratch.dist().to_vec(), l)
+                })
+                .collect::<Vec<_>>()
+            });
+            for (row, l) in per_chunk.into_iter().flatten() {
+                ledger.absorb_parallel(&l);
+                dist.push_row(&row);
+            }
+        } else {
+            let mut scratch = bford::BfordScratch::new();
+            for &s in sources {
+                let mut l = Ledger::new();
+                bford::bellman_ford_into(&self.exec, &view, &[s], hops, &mut l, &mut scratch);
+                ledger.absorb_parallel(&l);
+                // The row is copied straight into the flat matrix — the
+                // scratch buffers are reused by the next source.
+                dist.push_row(scratch.dist());
+            }
         }
         Ok(MultiSourceResult {
             dist,
@@ -761,6 +822,27 @@ impl DistanceOracle for Oracle {
             &self.exec,
             &self.union.view(),
             sources,
+            self.query_hops,
+            &mut ledger,
+        );
+        Ok(r.dist)
+    }
+
+    /// True point-to-point: the β-round loop stops as soon as `v`'s label
+    /// settles ([`bford::bellman_ford_to`]; settle criterion proven in
+    /// DESIGN.md §9). Bit-identical to `distances_from(u)[v]` — the early
+    /// exit skips only rounds that provably cannot change `v`'s label, so
+    /// the `(1+ε)` stretch bound carries over unchanged.
+    fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
+        let n = self.num_vertices();
+        check_source(n, v)?;
+        check_source(n, u)?;
+        let mut ledger = Ledger::new();
+        let r = bford::bellman_ford_to(
+            &self.exec,
+            &self.union.view(),
+            &[u],
+            v,
             self.query_hops,
             &mut ledger,
         );
@@ -846,6 +928,19 @@ impl DistanceOracle for DeltaSteppingOracle {
         let r = delta_stepping_on(&self.exec, &self.graph, source, self.delta);
         Ok((r.dist, r.ledger))
     }
+
+    /// Early exit on the settled-bucket invariant
+    /// ([`crate::delta_stepping::delta_stepping_to_on`]): bit-identical to
+    /// the full run's `dist[v]`, so E4/E10 backend comparisons stay like
+    /// with like.
+    fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
+        let n = self.num_vertices();
+        check_source(n, v)?;
+        check_source(n, u)?;
+        let r =
+            crate::delta_stepping::delta_stepping_to_on(&self.exec, &self.graph, u, v, self.delta);
+        Ok(r.dist)
+    }
 }
 
 /// Exact sequential Dijkstra behind the [`DistanceOracle`] trait: the work
@@ -893,6 +988,16 @@ impl DistanceOracle for DijkstraOracle {
         let mut ledger = Ledger::new();
         ledger.steps(ops, 1);
         Ok((r.dist, ledger))
+    }
+
+    /// Pop-`v` termination ([`pgraph::exact::dijkstra_to`]): the classical
+    /// settled-vertex invariant makes the popped label final, bit-identical
+    /// to the full run's `dist[v]`.
+    fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
+        let n = self.num_vertices();
+        check_source(n, v)?;
+        check_source(n, u)?;
+        Ok(pgraph::exact::dijkstra_to(&self.graph, u, v))
     }
 }
 

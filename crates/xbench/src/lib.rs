@@ -17,6 +17,7 @@ pub mod exp_end;
 pub mod exp_flat;
 pub mod exp_pool;
 pub mod exp_quality;
+pub mod exp_serve;
 pub mod table;
 
 /// Global experiment configuration.
@@ -134,6 +135,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "data plane: AoS scans + rebuckets vs SoA slices + label arena",
             exp_flat::flat_store,
         ),
+        (
+            "serve",
+            "serving: early-exit p2p, batched aMSSD, LRU source cache under load",
+            exp_serve::serve,
+        ),
     ]
 }
 
@@ -148,7 +154,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert_eq!(reg.len(), 19);
+        assert_eq!(reg.len(), 20);
     }
 
     #[test]

@@ -59,6 +59,14 @@
 //!     std::thread::spawn(move || o.distances_from(5).unwrap())
 //! };
 //! assert_eq!(handle.join().unwrap()[5], 0.0);
+//!
+//! // Serving: a bounded, deterministic LRU source cache in front —
+//! // hot sources answer from a cached row, bit-identical to cold.
+//! let served = CachedOracle::new(std::sync::Arc::clone(&shared), 4).unwrap();
+//! let cold = served.distances_from(0).unwrap(); // miss: fills the cache
+//! let warm = served.distances_from(0).unwrap(); // hit: no exploration
+//! assert_eq!(cold, warm);
+//! assert_eq!(served.stats().hits, 1);
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `DESIGN.md`/`EXPERIMENTS.md`
@@ -77,8 +85,9 @@ pub mod prelude {
     pub use pgraph::{exact, gen, Graph, GraphBuilder, UnionGraph, UnionView, INF};
     pub use pram::{Executor, Ledger};
     pub use sssp::{
-        delta_stepping, DeltaSteppingOracle, DijkstraOracle, DistanceMatrix, DistanceOracle,
-        MultiSourceResult, Oracle, OracleBuilder, Pipeline, SsspError,
+        delta_stepping, CacheStats, CachedOracle, CachedRow, DeltaSteppingOracle, DijkstraOracle,
+        DistanceMatrix, DistanceOracle, MultiSourceResult, Oracle, OracleBuilder, Pipeline,
+        SsspError,
     };
     #[allow(deprecated)]
     pub use sssp::{ApproxShortestPaths, ApproxSptEngine};

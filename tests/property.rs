@@ -6,6 +6,7 @@
 //! behavior sane (a failing case is a small tuple, not a giant edge list)
 //! while still covering a wide input space.
 
+use pram::pool;
 use pram_sssp::prelude::*;
 use proptest::prelude::*;
 
@@ -113,6 +114,47 @@ proptest! {
         }
         let bad = hopset::validate::find_shortcut_violations(&g, &r.hopset);
         prop_assert!(bad.is_empty(), "{:?}", bad);
+    }
+
+    /// Thm 3.8 (aMSSD, nearest-source form): `distances_to_nearest` never
+    /// undershoots the brute-force min-over-Dijkstra-rows reference, stays
+    /// within the (1+ε) stretch of it, and does so at every thread count;
+    /// the exact backend matches the reference outright.
+    #[test]
+    fn nearest_source_vs_brute_force(g in arb_graph(), k_sel in 1usize..4, seed in any::<u64>()) {
+        let n = g.num_vertices();
+        // k deterministic, well-spread sources (duplicates allowed).
+        let k = k_sel + 1;
+        let sources: Vec<u32> = (0..k)
+            .map(|i| (((seed as usize).wrapping_add(i * n / k)) % n) as u32)
+            .collect();
+        // Brute force: min over one full Dijkstra row per source.
+        let rows: Vec<Vec<f64>> = sources.iter().map(|&s| exact::dijkstra(&g, s).dist).collect();
+        let reference: Vec<f64> = (0..n)
+            .map(|v| rows.iter().map(|r| r[v]).fold(INF, f64::min))
+            .collect();
+
+        let eps = 0.25;
+        for &t in &[1usize, 2, 4, 8] {
+            let got = pool::with_threads(t, || {
+                let oracle = Oracle::builder(g.clone()).eps(eps).kappa(4).build().unwrap();
+                oracle.distances_to_nearest(&sources).unwrap()
+            });
+            for v in 0..n {
+                prop_assert!(got[v] >= reference[v] - 1e-9,
+                    "threads={t} v={v}: {} undershoots {}", got[v], reference[v]);
+                prop_assert!(got[v] <= (1.0 + eps) * reference[v] + 1e-9,
+                    "threads={t} v={v}: {} > (1+{eps})*{}", got[v], reference[v]);
+            }
+        }
+
+        let exact_backend = DijkstraOracle::new(g.clone());
+        let exact_near = exact_backend.distances_to_nearest(&sources).unwrap();
+        for v in 0..n {
+            prop_assert!((exact_near[v] - reference[v]).abs() < 1e-9
+                || (exact_near[v] == INF && reference[v] == INF),
+                "exact backend v={v}: {} vs {}", exact_near[v], reference[v]);
+        }
     }
 
     /// The exact Bellman–Ford recurrence: d^{(h)} is non-increasing in h
