@@ -51,6 +51,7 @@ pub struct RandomHopset {
 pub fn build_random_hopset(g: &Graph, params: &HopsetParams, seed: u64) -> RandomHopset {
     let n = g.num_vertices();
     assert_eq!(params.n, n);
+    // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
     let exec = Executor::current();
     let mut ledger = Ledger::new();
     let mut hopset = Hopset::new();
@@ -239,12 +240,15 @@ fn interconnect_all(
     phase: usize,
     hopset: &mut Hopset,
 ) {
-    let in_u: std::collections::HashSet<VId> = u_set.iter().map(|&c| part.center(c)).collect();
+    // Sorted membership table, same discipline as the deterministic build
+    // (see single_scale::interconnect_all): lookup-only, xlint D1-proof.
+    let mut in_u: Vec<VId> = u_set.iter().map(|&c| part.center(c)).collect();
+    in_u.sort_unstable();
     let mut proposals: Vec<(VId, VId, f64)> = Vec::new();
     for &c in u_set {
         let rc = part.center(c);
         for l in m.labels(c as usize) {
-            if l.src == rc || !in_u.contains(&l.src) {
+            if l.src == rc || in_u.binary_search(&l.src).is_err() {
                 continue;
             }
             proposals.push((rc.min(l.src), rc.max(l.src), l.pw.max(f64::MIN_POSITIVE)));

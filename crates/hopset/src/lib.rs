@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # hopset — deterministic PRAM hopsets (Elkin–Matar, SPAA 2021)
 //!

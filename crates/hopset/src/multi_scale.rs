@@ -61,6 +61,7 @@ pub struct BuildOptions {
 /// [`Graph::scaled_to_unit_min`]) — edgeless graphs trivially return an
 /// empty hopset.
 pub fn build_hopset(g: &Graph, params: &HopsetParams, opts: BuildOptions) -> BuiltHopset {
+    // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
     build_hopset_on(&Executor::current(), g, params, opts)
 }
 

@@ -94,6 +94,7 @@ struct Ptr {
 pub fn build_spt(g: &Graph, built: &BuiltHopset, source: VId) -> SptResult {
     let sl = built.hopset.all_slice();
     let view = UnionView::with_overlay_columns(g, sl.us(), sl.vs(), sl.ws());
+    // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
     build_spt_on(&Executor::current(), &view, built, source)
 }
 
@@ -120,6 +121,7 @@ pub fn build_spt_on(
 pub fn build_spt_reduced(g: &Graph, reduced: &ReducedHopset, source: VId) -> SptResult {
     let sl = reduced.hopset.all_slice();
     let view = UnionView::with_overlay_columns(g, sl.us(), sl.vs(), sl.ws());
+    // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
     build_spt_reduced_on(&Executor::current(), &view, reduced, source)
 }
 

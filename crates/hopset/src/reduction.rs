@@ -105,6 +105,7 @@ pub fn build_reduced_hopset(
     mode: ParamMode,
     opts: BuildOptions,
 ) -> Result<ReducedHopset, ParamError> {
+    // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
     build_reduced_hopset_on(&Executor::current(), g, eps, kappa, rho, mode, opts)
 }
 
@@ -258,6 +259,9 @@ fn build_level(
         .map(|v| v as VId)
         .collect();
     labels.sort_unstable();
+    // Keyed lookup only — never iterated, so no iteration order can leak
+    // into the output (legal under xlint D1; the sorted `labels` Vec above
+    // carries the deterministic order).
     let mut index_of_label = std::collections::HashMap::with_capacity(labels.len());
     for (i, &l) in labels.iter().enumerate() {
         index_of_label.insert(l, i as u32);

@@ -220,7 +220,10 @@ fn interconnect(
     phase: usize,
     violations: &mut usize,
 ) -> usize {
-    let in_u: std::collections::HashSet<VId> = u_set.iter().map(|&c| part.center(c)).collect();
+    // Sorted membership table (not a HashSet): lookup-only today, but a
+    // sorted Vec can never grow an order-dependent iteration (xlint D1).
+    let mut in_u: Vec<VId> = u_set.iter().map(|&c| part.center(c)).collect();
+    in_u.sort_unstable();
     // Collect directed proposals, dedup by unordered pair keeping the
     // lightest realized weight (floating-point sums may differ by ulps
     // between the two directions).
@@ -228,7 +231,7 @@ fn interconnect(
     for &c in u_set {
         let rc = part.center(c);
         for l in m.labels(c as usize) {
-            if l.src == rc || !in_u.contains(&l.src) {
+            if l.src == rc || in_u.binary_search(&l.src).is_err() {
                 continue;
             }
             let formula_w = ctx.sp.interconnect_weight(phase, l.dist);

@@ -316,9 +316,15 @@ mod tests {
         assert_eq!(cc.count, 1);
         assert_eq!(forest.len(), 199);
         // Forest edges must connect the graph: run CC over forest edges only.
-        let forest_set: std::collections::HashSet<usize> = forest.iter().copied().collect();
+        let mut forest_set: Vec<usize> = forest.to_vec();
+        forest_set.sort_unstable();
         let mut l2 = Ledger::new();
-        let cc2 = connected_components_filtered(&exec(), &g, |e| forest_set.contains(&e), &mut l2);
+        let cc2 = connected_components_filtered(
+            &exec(),
+            &g,
+            |e| forest_set.binary_search(&e).is_ok(),
+            &mut l2,
+        );
         assert_eq!(cc2.count, 1);
     }
 

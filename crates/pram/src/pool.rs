@@ -261,6 +261,118 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Debug-build chunk-overlap race detector — the **dynamic** complement
+/// to the `xlint` static pass (DESIGN.md §10).
+///
+/// `for_each_chunk_mut` is the one place in the workspace that hands out
+/// `&mut` slices to concurrent workers; its soundness (and the
+/// determinism contract's "disjoint pre-split writes" clause) rests on
+/// the claimed chunks forming a genuine partition of the data, each
+/// executed exactly once. The static asserts on the *bounds array* can't
+/// see scheduling bugs — a chunk index handed to two workers, or a chunk
+/// that never ran — so in `debug_assertions` builds every dispatch round
+/// records the `(chunk index, range)` pairs **as they are claimed by the
+/// executing thread** and, after the round barrier, verifies:
+///
+/// 1. every chunk index was claimed exactly once (no double execution,
+///    no lost chunk);
+/// 2. the claimed ranges are pairwise disjoint (no overlapping `&mut`);
+/// 3. together they cover `0..len` with no gap (exhaustive).
+///
+/// Release builds compile all of this out. The detector is driven by the
+/// pool itself on every debug round (so the whole test suite exercises
+/// it continuously); `crates/pram/tests/overlap_detector.rs` additionally
+/// feeds it deliberately overlapping / double-claimed / gapped rounds and
+/// asserts it fires.
+#[cfg(debug_assertions)]
+pub mod overlap {
+    use std::ops::Range;
+    use std::sync::{Mutex, PoisonError};
+
+    /// The claim record of one parallel round. Create before dispatch,
+    /// [`claim`](RoundClaims::claim) from each executing chunk, and
+    /// [`finish`](RoundClaims::finish) after the round barrier.
+    #[derive(Debug)]
+    pub struct RoundClaims {
+        /// Length of the slice the round partitions.
+        len: usize,
+        /// Number of chunks the round was dispatched with.
+        nchunks: usize,
+        /// `(chunk index, bounds)` in claim order (schedule-dependent —
+        /// which is exactly why `finish` sorts before judging).
+        claims: Mutex<Vec<(usize, Range<usize>)>>,
+    }
+
+    impl RoundClaims {
+        /// A fresh record for a round of `nchunks` chunks over `0..len`.
+        pub fn new(len: usize, nchunks: usize) -> RoundClaims {
+            RoundClaims {
+                len,
+                nchunks,
+                claims: Mutex::new(Vec::with_capacity(nchunks)),
+            }
+        }
+
+        /// Record that the executing thread claimed chunk `ci` with the
+        /// given bounds. Called from worker threads; claim order is
+        /// schedule-dependent and irrelevant.
+        pub fn claim(&self, ci: usize, bounds: Range<usize>) {
+            self.claims
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push((ci, bounds));
+        }
+
+        /// Verify the round: panics unless every chunk index was claimed
+        /// exactly once and the claimed ranges partition `0..len`.
+        pub fn finish(&self) {
+            let mut claims = self
+                .claims
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            assert_eq!(
+                claims.len(),
+                self.nchunks,
+                "round ended with {}/{} chunk claims (lost or extra execution)",
+                claims.len(),
+                self.nchunks,
+            );
+            claims.sort_by_key(|(ci, _)| *ci);
+            for (slot, (ci, _)) in claims.iter().enumerate() {
+                assert!(
+                    *ci == slot,
+                    "chunk {ci} claimed twice in one round (chunk {slot} never ran)",
+                );
+            }
+            claims.sort_by_key(|(_, r)| (r.start, r.end));
+            let mut covered = 0usize;
+            for (ci, r) in &claims {
+                assert!(
+                    r.start >= covered,
+                    "chunk overlap: chunk {ci} ({}..{}) overlaps the range claimed before it \
+                     (covered up to {covered})",
+                    r.start,
+                    r.end,
+                );
+                assert!(
+                    r.start == covered,
+                    "chunk gap: nothing claimed {covered}..{} (chunk {ci} starts at {})",
+                    r.start,
+                    r.start,
+                );
+                assert!(r.end >= r.start, "chunk {ci} has decreasing bounds");
+                covered = r.end;
+            }
+            assert_eq!(
+                covered, self.len,
+                "claims not exhaustive: covered 0..{covered} of 0..{}",
+                self.len,
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The persistent pool
 // ---------------------------------------------------------------------------
@@ -582,18 +694,21 @@ impl Executor {
             }
         };
         let next = AtomicUsize::new(0);
-        // SAFETY (lifetime erasure): `job` borrows `runner` and `next`
-        // from this stack frame. The barrier below guarantees every worker
-        // has checked in (and thus dropped its use of the job) before this
-        // function returns or unwinds, so the 'static erasure never
-        // outlives the borrow. The round lock guarantees no other caller
-        // can overwrite the job while this round is in flight.
         let job = Job {
+            // SAFETY: lifetime erasure of `runner`, borrowed from this
+            // stack frame. The barrier below guarantees every worker has
+            // checked in (and thus dropped its use of the job) before
+            // this function returns or unwinds, so the 'static erasure
+            // never outlives the borrow. The round lock guarantees no
+            // other caller can overwrite the job while this round is in
+            // flight.
             task: unsafe {
                 std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
                     runner,
                 )
             },
+            // SAFETY: same barrier argument as `task`: `next` lives on
+            // this frame, and no worker touches the job after check-in.
             next: unsafe { std::mem::transmute::<&AtomicUsize, &'static AtomicUsize>(&next) },
             nchunks,
         };
@@ -663,9 +778,18 @@ impl Executor {
     ) -> Vec<R> {
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(bounds.len(), || None);
+        // Debug builds verify the "claimed exactly once" premise of the
+        // SAFETY argument below dynamically (one synthetic unit range per
+        // result slot): see [`overlap`].
+        #[cfg(debug_assertions)]
+        let claims = overlap::RoundClaims::new(bounds.len(), bounds.len());
         {
+            #[cfg(debug_assertions)]
+            let claims = &claims;
             let out = SendPtr(slots.as_mut_ptr());
             let runner = move |ci: usize| {
+                #[cfg(debug_assertions)]
+                claims.claim(ci, ci..ci + 1);
                 let r = task(bounds[ci].clone());
                 // SAFETY: each chunk index is claimed exactly once per
                 // round (atomic counter), so writes are disjoint; the
@@ -674,6 +798,8 @@ impl Executor {
             };
             self.dispatch(bounds.len(), &runner);
         }
+        #[cfg(debug_assertions)]
+        claims.finish();
         slots
             .into_iter()
             .map(|s| s.expect("every chunk executed"))
@@ -701,9 +827,19 @@ impl Executor {
             consumed = r.end;
         }
         assert_eq!(consumed, data.len(), "bounds must cover the whole slice");
+        // This is the one place in the workspace that hands `&mut` slices
+        // to concurrent workers; debug builds re-verify the partition
+        // *as executed* — each chunk claimed exactly once, claimed ranges
+        // disjoint and exhaustive — via the [`overlap`] race detector.
+        #[cfg(debug_assertions)]
+        let claims = overlap::RoundClaims::new(data.len(), bounds.len());
+        #[cfg(debug_assertions)]
+        let claims_ref = &claims;
         let base = SendPtr(data.as_mut_ptr());
         let runner = move |ci: usize| {
             let r = &bounds[ci];
+            #[cfg(debug_assertions)]
+            claims_ref.claim(ci, r.clone());
             // SAFETY: bounds partition `0..data.len()` (asserted above) and
             // each chunk index runs exactly once per round, so the slices
             // are disjoint; the dispatch barrier keeps them inside the
@@ -712,6 +848,8 @@ impl Executor {
             task(ci, piece);
         };
         self.dispatch(bounds.len(), &runner);
+        #[cfg(debug_assertions)]
+        claims.finish();
     }
 }
 
@@ -731,7 +869,14 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only dereferenced inside a dispatch round, where
+// every chunk touches a disjoint region and the round barrier sequences
+// all worker writes before the caller reads (see the SAFETY notes at the
+// two use sites); moving the pointer value itself between threads is then
+// sound exactly when `T: Send`.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` only exposes the pointer value (`get`); the
+// disjoint-write argument above covers every actual access through it.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]

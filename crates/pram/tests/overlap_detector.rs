@@ -1,0 +1,88 @@
+//! The debug-build chunk-overlap race detector (`pram::pool::overlap`).
+//!
+//! The pool drives the detector on every debug round, so the rest of the
+//! test suite exercises the *passing* path continuously; these tests feed
+//! it deliberately broken rounds — overlapping, double-claimed, gapped,
+//! lost, truncated — and assert each failure mode fires with its own
+//! message. The whole file is compiled out in release builds, exactly
+//! like the detector itself.
+#![cfg(debug_assertions)]
+
+use pram::pool::{chunk_bounds, overlap::RoundClaims, Executor};
+
+#[test]
+fn disjoint_exhaustive_round_passes() {
+    let claims = RoundClaims::new(100, 3);
+    // Claim order is schedule-dependent; the detector must not care.
+    claims.claim(2, 70..100);
+    claims.claim(0, 0..40);
+    claims.claim(1, 40..70);
+    claims.finish();
+}
+
+#[test]
+fn empty_round_passes() {
+    RoundClaims::new(0, 0).finish();
+}
+
+#[test]
+#[should_panic(expected = "chunk overlap")]
+fn overlapping_claims_panic() {
+    let claims = RoundClaims::new(100, 2);
+    claims.claim(0, 0..60);
+    claims.claim(1, 40..100);
+    claims.finish();
+}
+
+#[test]
+#[should_panic(expected = "claimed twice")]
+fn double_claimed_chunk_panics() {
+    let claims = RoundClaims::new(10, 2);
+    claims.claim(0, 0..5);
+    claims.claim(0, 0..5);
+    claims.finish();
+}
+
+#[test]
+#[should_panic(expected = "chunk claims (lost or extra execution)")]
+fn lost_claim_panics() {
+    let claims = RoundClaims::new(10, 2);
+    claims.claim(0, 0..5);
+    claims.finish();
+}
+
+#[test]
+#[should_panic(expected = "chunk gap")]
+fn gap_between_claims_panics() {
+    let claims = RoundClaims::new(10, 2);
+    claims.claim(0, 0..4);
+    claims.claim(1, 6..10);
+    claims.finish();
+}
+
+#[test]
+#[should_panic(expected = "not exhaustive")]
+fn truncated_coverage_panics() {
+    let claims = RoundClaims::new(10, 2);
+    claims.claim(0, 0..4);
+    claims.claim(1, 4..8);
+    claims.finish();
+}
+
+/// End-to-end: a real parallel round over a slice large enough to cross
+/// the pool's parallel threshold runs under the detector (the pool wires
+/// it into every debug dispatch) and completes without firing.
+#[test]
+fn real_rounds_run_under_the_detector() {
+    let exec = Executor::new(4);
+    let mut data: Vec<u64> = (0..100_000).collect();
+    let bounds = chunk_bounds(data.len(), exec.threads());
+    exec.for_each_chunk_mut(&mut data, &bounds, |_ci, chunk| {
+        for x in chunk {
+            *x *= 2;
+        }
+    });
+    assert!(data.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    let sums = exec.run_chunks(&bounds, |r| r.len());
+    assert_eq!(sums.iter().sum::<usize>(), data.len());
+}

@@ -83,6 +83,7 @@ impl<'g> ApproxShortestPaths<'g> {
     }
 
     fn from_params_inner(g: &'g Graph, params: &HopsetParams) -> Self {
+        // xlint: allow(ambient-threads, legacy engine captures the process executor once at construction)
         let exec = Executor::current();
         let built = hopset::build_hopset_on(&exec, g, params, BuildOptions::default());
         let sl = built.hopset.all_slice();

@@ -18,6 +18,7 @@ pub fn dijkstra_exact(g: &Graph, source: VId) -> SsspResult {
 pub fn plain_bellman_ford(g: &Graph, source: VId, hops: usize) -> (Vec<Weight>, Ledger) {
     let view = UnionView::base_only(g);
     let mut ledger = Ledger::new();
+    // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
     let r = bford::bellman_ford(&Executor::current(), &view, &[source], hops, &mut ledger);
     (r.dist, ledger)
 }
@@ -29,6 +30,7 @@ pub fn bf_rounds_to_converge(g: &Graph, source: VId) -> usize {
     let view = UnionView::base_only(g);
     let mut ledger = Ledger::new();
     let r = bford::bellman_ford(
+        // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
         &Executor::current(),
         &view,
         &[source],

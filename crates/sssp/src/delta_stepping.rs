@@ -33,6 +33,7 @@ pub struct DeltaSteppingResult {
 /// here is as a *depth* baseline: `buckets × light_rounds` is the round
 /// count a synchronous parallel machine would pay.
 pub fn delta_stepping(g: &Graph, source: VId, delta: Weight) -> DeltaSteppingResult {
+    // xlint: allow(ambient-threads, compat entry point captures the process executor once at the API boundary)
     delta_stepping_on(&Executor::current(), g, source, delta)
 }
 

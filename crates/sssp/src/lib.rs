@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # sssp — (1+ε)-approximate shortest paths from deterministic hopsets
 //!

@@ -506,6 +506,7 @@ impl OracleBuilder {
         let exec = match (self.executor, self.threads) {
             (Some(exec), _) => exec,
             (None, Some(t)) => Executor::new(t),
+            // xlint: allow(ambient-threads, builder inherits the process default once at build time)
             (None, None) => Executor::current(),
         };
         let (backend, query_hops) = match pipeline {
@@ -875,6 +876,7 @@ impl DeltaSteppingOracle {
             graph,
             delta,
             build_cost: Ledger::new(),
+            // xlint: allow(ambient-threads, oracle captures the process default once at construction)
             exec: Executor::current(),
         }
     }
@@ -890,6 +892,7 @@ impl DeltaSteppingOracle {
             graph: graph.into(),
             delta,
             build_cost: Ledger::new(),
+            // xlint: allow(ambient-threads, oracle captures the process default once at construction)
             exec: Executor::current(),
         })
     }

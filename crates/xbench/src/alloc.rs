@@ -23,15 +23,21 @@ pub struct CountingAlloc;
 // SAFETY: delegates every operation to `System`; the counter has no effect
 // on the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded to
+    // `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` came from `System.alloc` via the method above,
+    // so forwarding the pair back to `System` is sound.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same forwarding argument as `dealloc` — the pointer being
+    // reallocated was produced by `System` through this wrapper.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

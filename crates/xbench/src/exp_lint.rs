@@ -1,0 +1,38 @@
+//! `lint` — the determinism-contract static analyzer as a registry entry.
+//!
+//! Not a measurement: a *gate*. Runs [`xlint::lint_workspace`] over the
+//! checkout this binary was built from, prints every diagnostic in
+//! rustc style, and exits nonzero if any fired — so `repro lint` is the
+//! CI command that keeps DESIGN.md §10's rule table enforced. It rides
+//! in the registry (rather than a separate binary) so `repro list`
+//! stays the one index of everything the reproduction can run.
+
+use crate::Config;
+use std::path::Path;
+
+/// Lint the whole workspace; exit 1 on any diagnostic, 2 if the source
+/// tree is unreadable (e.g. the binary moved away from its checkout).
+pub fn lint(_cfg: &Config) {
+    // Compile-time anchor: xbench's manifest dir is crates/xbench.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let t0 = std::time::Instant::now();
+    let report = match xlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: cannot walk workspace at {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "lint: {} files scanned, {} diagnostic(s) in {:.1?}",
+        report.files.len(),
+        report.diagnostics.len(),
+        t0.elapsed()
+    );
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

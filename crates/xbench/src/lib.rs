@@ -15,6 +15,7 @@ pub mod exp_ablation;
 pub mod exp_core;
 pub mod exp_end;
 pub mod exp_flat;
+pub mod exp_lint;
 pub mod exp_pool;
 pub mod exp_quality;
 pub mod exp_serve;
@@ -140,6 +141,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "serving: early-exit p2p, batched aMSSD, LRU source cache under load",
             exp_serve::serve,
         ),
+        (
+            "lint",
+            "gate: xlint determinism-contract static analysis (DESIGN.md §10)",
+            exp_lint::lint,
+        ),
     ]
 }
 
@@ -154,7 +160,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert_eq!(reg.len(), 20);
+        assert_eq!(reg.len(), 21);
     }
 
     #[test]

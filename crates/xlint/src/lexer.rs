@@ -1,0 +1,348 @@
+//! A minimal Rust surface lexer: split a source file into per-line *code*
+//! and *comment* streams, with string/char literal contents blanked out.
+//!
+//! The rule engine (see [`crate::rules`]) matches determinism-contract
+//! violations on token-ish text, so the one job of this pass is to make
+//! sure a pattern like `thread::spawn` can never match inside a comment,
+//! a string literal, or a doc example — and conversely that a
+//! `// SAFETY:` or `// xlint: allow(..)` marker can never be faked from
+//! inside a string. No external parser (`syn` et al.) is available in
+//! this environment (the registry is unreachable), and none is needed:
+//! the six rules only require comment/literal-aware line scanning.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes (including multi-line strings), raw strings `r"…"` / `r#"…"#`
+//! (any hash count), byte and byte-raw strings, C strings (`c"…"`), char
+//! literals (including escapes), and the char-vs-lifetime ambiguity
+//! (`'a'` vs `'a`).
+
+/// One source line, split into scrubbed code and extracted comment text.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubbedLine {
+    /// The line's code with comments removed and literal contents
+    /// replaced by spaces. Quote characters are kept, so adjacent tokens
+    /// never merge across a blanked literal.
+    pub code: String,
+    /// Concatenated text of every comment that lies on (or spans) this
+    /// line, in source order.
+    pub comment: String,
+}
+
+/// Lexer mode carried across lines.
+enum Mode {
+    Code,
+    /// Inside `/* … */`, with nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string (escapes possible, may span lines).
+    Str,
+    /// Inside a raw string, closed by `"` followed by this many `#`s.
+    Raw(u32),
+}
+
+/// Scrub `src` into per-line code/comment streams. Lines are indexed from
+/// zero here; diagnostics add one when printing.
+pub fn scrub(src: &str) -> Vec<ScrubbedLine> {
+    let bytes = src.as_bytes();
+    let mut lines: Vec<ScrubbedLine> = Vec::new();
+    let mut cur = ScrubbedLine::default();
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Block(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    if depth == 1 {
+                        mode = Mode::Code;
+                        // Keep a space so tokens don't merge across the
+                        // removed comment.
+                        cur.code.push(' ');
+                    } else {
+                        mode = Mode::Block(depth - 1);
+                    }
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(b as char);
+                    i += 1;
+                }
+            }
+            Mode::Str => match b {
+                b'\\' => {
+                    // An escape consumes the next byte too (sufficient
+                    // for scrubbing even for multi-byte escapes: the
+                    // remainder is blanked as ordinary contents). A
+                    // backslash at end of line continues the string.
+                    cur.code.push(' ');
+                    if bytes.get(i + 1).is_some_and(|&n| n != b'\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'"' => {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::Raw(hashes) => {
+                if b == b'"' && count_hashes(bytes, i + 1) >= hashes {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    mode = Mode::Code;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    // Line comment: capture to end of line.
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        cur.comment.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    mode = Mode::Block(1);
+                    i += 2;
+                }
+                b'"' => {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                }
+                b'r' | b'b' | b'c' if is_literal_prefix(bytes, i) => {
+                    // One of r"", r#""#, b"", br"", rb#""#, c"", etc.
+                    // Emit the prefix letters, then enter the right mode.
+                    let mut j = i;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_alphabetic() {
+                        cur.code.push(bytes[j] as char);
+                        j += 1;
+                    }
+                    let raw = bytes[i..j].contains(&b'r');
+                    if raw {
+                        let hashes = count_hashes(bytes, j);
+                        for _ in 0..hashes {
+                            cur.code.push('#');
+                        }
+                        cur.code.push('"');
+                        i = j + hashes as usize + 1;
+                        mode = Mode::Raw(hashes);
+                    } else {
+                        cur.code.push('"');
+                        i = j + 1;
+                        mode = Mode::Str;
+                    }
+                }
+                b'\'' => {
+                    i = lex_quote(bytes, i, &mut cur);
+                }
+                _ => {
+                    cur.code.push(b as char);
+                    i += 1;
+                }
+            },
+        }
+    }
+    // Final unterminated line (no trailing newline).
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Number of consecutive `#` bytes starting at `i`.
+fn count_hashes(bytes: &[u8], i: usize) -> u32 {
+    let mut n = 0u32;
+    while bytes.get(i + n as usize) == Some(&b'#') {
+        n += 1;
+    }
+    n
+}
+
+/// True if the alphabetic run starting at `i` is a string-literal prefix
+/// (`r`, `b`, `br`, `rb`, `c`, `cr`, …) immediately followed by `"` or,
+/// for raw forms, by `#…"`.
+fn is_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    // A preceding identifier char means this run is the tail of a longer
+    // name (`her"` can't happen, but `var b"x"` vs `web"` style slips
+    // could), not a literal prefix.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] as char).is_ascii_alphabetic() {
+        j += 1;
+        // Real prefixes are at most two letters; a longer run is an
+        // identifier like `crate` or `branch`.
+        if j - i > 2 {
+            return false;
+        }
+    }
+    let run = &bytes[i..j];
+    if !run.iter().all(|&b| matches!(b, b'r' | b'b' | b'c')) {
+        return false;
+    }
+    let raw = run.contains(&b'r');
+    let j = j + count_hashes(bytes, j) as usize * usize::from(raw);
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Lex a `'` at `i`: either a char literal (blank its contents) or a
+/// lifetime (emit as-is). Returns the index after the construct.
+fn lex_quote(bytes: &[u8], i: usize, cur: &mut ScrubbedLine) -> usize {
+    // Escaped char literal: '\x7f', '\n', '\'', …
+    if bytes.get(i + 1) == Some(&b'\\') {
+        cur.code.push('\'');
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            cur.code.push(' ');
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'\'') {
+            cur.code.push('\'');
+            j += 1;
+        }
+        return j;
+    }
+    // Plain char literal: a short non-quote run then a closing quote
+    // (`'x'`, `'é'`, `'('`). A quote followed by an identifier with no
+    // closing quote nearby is a lifetime (`'a`, `'static`).
+    let mut j = i + 1;
+    let mut len = 0usize;
+    while j < bytes.len() && len <= 4 {
+        if bytes[j] == b'\'' && len > 0 {
+            cur.code.push('\'');
+            for _ in 0..len {
+                cur.code.push(' ');
+            }
+            cur.code.push('\'');
+            return j + 1;
+        }
+        if bytes[j] == b'\n' || bytes[j] == b' ' || bytes[j] == b'\'' {
+            break;
+        }
+        j += 1;
+        len += 1;
+    }
+    // Lifetime (or stray quote): emit the quote alone, code continues.
+    cur.code.push('\'');
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scrub(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_and_captured() {
+        let lines = scrub("let x = 1; // SAFETY: not really\nlet y = 2;\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert!(lines[0].comment.contains("SAFETY: not really"));
+        assert_eq!(lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scrub("a /* x /* y */ z */ b\n");
+        assert_eq!(lines[0].code, "a   b");
+        assert!(lines[0].comment.contains('y'));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_kept() {
+        let lines = scrub("call(\"thread::spawn // SAFETY:\");\n");
+        assert!(!lines[0].code.contains("spawn"));
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let v = codes("f(\"a \\\" thread::spawn \\\" b\"); g();\n");
+        assert!(!v[0].contains("spawn"));
+        assert!(v[0].contains("g();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let v = codes("let s = r#\"HashMap \"quoted\" iter()\"#; tail()\n");
+        assert!(!v[0].contains("HashMap"));
+        assert!(v[0].contains("tail()"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let v = codes("f(b\"spawn\", br#\"spawn\"#, c\"spawn\");\n");
+        assert!(!v[0].contains("spawn"));
+        assert!(v[0].starts_with("f(b"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let v = codes("let c: char = 'x'; fn f<'a>(s: &'a str) {}\n");
+        assert!(!v[0].contains('x'), "{}", v[0]);
+        assert!(v[0].contains("<'a>"));
+        assert!(v[0].contains("&'a str"));
+        // Escapes and multi-byte chars.
+        let v = codes("let q = '\\''; let u = 'é';\n");
+        assert!(v[0].contains("let q"));
+        assert!(v[0].contains("let u"));
+        assert!(!v[0].contains('é'));
+    }
+
+    #[test]
+    fn multi_line_strings_keep_line_count() {
+        let src = "let s = \"one\ntwo spawn\nthree\";\nafter();\n";
+        let v = codes(src);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3], "after();");
+        assert!(!v[1].contains("spawn"));
+    }
+
+    #[test]
+    fn multi_line_block_comment_keeps_line_count() {
+        let src = "before();\n/* one\ntwo SAFETY: here\n*/ after();\n";
+        let lines = scrub(src);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].comment.contains("SAFETY: here"));
+        assert_eq!(lines[3].code.trim(), "after();");
+    }
+
+    #[test]
+    fn identifier_starting_with_prefix_letters_is_not_a_literal() {
+        let v = codes("let branch = crate::c; r.push(b);\n");
+        assert!(v[0].contains("branch"));
+        assert!(v[0].contains("crate::c"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lines = scrub("/// uses thread::spawn internally\nfn f() {}\n");
+        assert!(!lines[0].code.contains("spawn"));
+        assert!(lines[0].comment.contains("spawn"));
+    }
+}

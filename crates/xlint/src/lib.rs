@@ -1,0 +1,161 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+//! # xlint — the determinism-contract static analyzer
+//!
+//! Elkin–Matar's headline guarantee is *determinism*: every output of the
+//! reproduction is bit-identical at any thread count (DESIGN.md §5). That
+//! contract used to be enforced only after the fact, by `to_bits`
+//! equality suites. This crate enforces it *before* the fact: a
+//! zero-dependency static-analysis pass (a minimal Rust surface lexer
+//! plus a line-aware rule engine — no `syn`, the registry is
+//! unreachable) that scans every workspace source file and reports
+//! violations of six named rules (the full table with rationale and
+//! escapes lives in DESIGN.md §10):
+//!
+//! | id | slug | scope | rule |
+//! |----|------|-------|------|
+//! | D1 | `hash-iter` | algorithm crates | no `HashMap`/`HashSet` *iteration* (keyed lookup is fine) |
+//! | D2 | `thread-spawn` | everywhere but `pram::pool`, `xbench` | no thread spawning outside the deterministic runtime |
+//! | D3 | `wall-clock` | algorithm crates | no `Instant`/`SystemTime` (timing lives in `xbench`) |
+//! | D4 | `undocumented-unsafe` | every file | every `unsafe` carries a `// SAFETY:` comment |
+//! | D5 | `float-fold` | algorithm crates | no bare f32/f64 `sum`/`fold` reductions |
+//! | D6 | `ambient-threads` | library crates | no ambient thread-count/env reads |
+//!
+//! **Escape hatch.** A diagnostic is suppressed by an annotation on the
+//! offending line, or alone on the line directly above it:
+//!
+//! ```text
+//! // xlint: allow(<slug>, <reason>)
+//! ```
+//!
+//! The reason is mandatory; a malformed annotation (unknown slug, missing
+//! or empty reason) is itself an error (`A0/malformed-allow`).
+//!
+//! **Scope rules.** The algorithm crates are `pram`, `hopset`, `pgraph`,
+//! `sssp` (their `src/` trees). `crates/pram/src/pool.rs` — the runtime
+//! itself — is exempt from D2/D5/D6 (it *defines* the sanctioned
+//! spawn/merge/ambient sites), `crates/pram/src/prim.rs` from D5 (the
+//! order-fixed merge primitives live there), and `xbench` from everything
+//! but D4 (the harness measures time and spawns load generators by
+//! design). Test code (`tests/`, `benches/`, `examples/` paths and
+//! `#[cfg(test)]`/`#[test]` regions) is skipped for all rules except D4.
+//!
+//! **Running it.** `cargo run --release -p xbench --bin repro -- lint`
+//! prints rustc-style `file:line` diagnostics and exits nonzero if any
+//! fire — the CI gate. The dynamic complement — races a static pass
+//! cannot see — is the debug-build chunk-overlap detector in
+//! `pram::pool::overlap`.
+//!
+//! ```
+//! let diags = xlint::lint_source(
+//!     "crates/hopset/src/demo.rs",
+//!     "fn f() { let t = std::time::Instant::now(); }\n",
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule.id(), "D3");
+//! ```
+
+mod lexer;
+mod rules;
+
+pub use rules::{lint_source, Diagnostic, Rule, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+
+/// The result of linting a file tree: what was scanned and what fired.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Workspace-relative paths of every scanned file, sorted.
+    pub files: Vec<String>,
+    /// Every diagnostic, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directories never scanned: build output, vendored dependency shims
+/// (external API mirrors, not subject to this workspace's contract), VCS
+/// metadata, and the lint's own deliberately-bad fixture corpus.
+const SKIP_DIRS: [&str; 4] = ["target", "shims", ".git", "fixtures"];
+
+/// Lint every `.rs` file under `root` (a workspace checkout). File order,
+/// and therefore diagnostic order, is sorted — the analyzer obeys the
+/// contract it enforces.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut report = LintReport {
+        files: Vec::with_capacity(files.len()),
+        diagnostics: Vec::new(),
+    };
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        report.diagnostics.extend(lint_source(&rel, &src));
+        report.files.push(rel);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_list_is_pinned() {
+        // fixtures/ holds deliberately-bad corpus files; shims/ mirrors
+        // external APIs. Scanning either would make the workspace run
+        // meaningless, so the skip list is part of the tool's contract.
+        assert!(SKIP_DIRS.contains(&"fixtures"));
+        assert!(SKIP_DIRS.contains(&"shims"));
+        assert!(SKIP_DIRS.contains(&"target"));
+    }
+
+    #[test]
+    fn rule_ids_and_slugs_are_stable() {
+        let ids: Vec<&str> = ALL_RULES.iter().map(|r| r.id()).collect();
+        assert_eq!(ids, ["D1", "D2", "D3", "D4", "D5", "D6"]);
+        let slugs: Vec<&str> = ALL_RULES.iter().map(|r| r.slug()).collect();
+        assert_eq!(
+            slugs,
+            [
+                "hash-iter",
+                "thread-spawn",
+                "wall-clock",
+                "undocumented-unsafe",
+                "float-fold",
+                "ambient-threads"
+            ]
+        );
+    }
+}

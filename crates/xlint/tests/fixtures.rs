@@ -1,0 +1,97 @@
+//! Self-test corpus: every rule must fire on its deliberately-bad fixture
+//! (linted under the strictest scope, an algorithm crate's `src/` tree),
+//! every well-formed escape hatch must suppress, and every malformed one
+//! must be an error. The fixture files live under `tests/fixtures/`,
+//! which [`xlint::lint_workspace`] skips — the corpus can never dirty the
+//! workspace gate that `repro lint` enforces.
+
+use xlint::lint_source;
+
+fn hits(name: &str, src: &str) -> Vec<(usize, &'static str)> {
+    lint_source(&format!("crates/hopset/src/{name}"), src)
+        .into_iter()
+        .map(|d| (d.line, d.rule.id()))
+        .collect()
+}
+
+#[test]
+fn d1_hash_iteration_fires() {
+    let src = include_str!("fixtures/d1_hash_iter.rs");
+    assert_eq!(hits("d1_hash_iter.rs", src), vec![(6, "D1")]);
+}
+
+#[test]
+fn d2_thread_spawn_fires() {
+    let src = include_str!("fixtures/d2_thread_spawn.rs");
+    assert_eq!(hits("d2_thread_spawn.rs", src), vec![(3, "D2")]);
+}
+
+#[test]
+fn d3_wall_clock_fires() {
+    let src = include_str!("fixtures/d3_wall_clock.rs");
+    assert_eq!(hits("d3_wall_clock.rs", src), vec![(3, "D3")]);
+}
+
+#[test]
+fn d4_undocumented_unsafe_fires() {
+    let src = include_str!("fixtures/d4_undocumented_unsafe.rs");
+    assert_eq!(hits("d4_undocumented_unsafe.rs", src), vec![(3, "D4")]);
+}
+
+#[test]
+fn d5_float_fold_fires_per_reduction() {
+    let src = include_str!("fixtures/d5_float_fold.rs");
+    assert_eq!(hits("d5_float_fold.rs", src), vec![(3, "D5"), (7, "D5")]);
+}
+
+#[test]
+fn d6_ambient_threads_fires() {
+    let src = include_str!("fixtures/d6_ambient_threads.rs");
+    assert_eq!(hits("d6_ambient_threads.rs", src), vec![(3, "D6")]);
+}
+
+#[test]
+fn well_formed_allows_suppress_everything() {
+    let src = include_str!("fixtures/allow_clean.rs");
+    assert_eq!(hits("allow_clean.rs", src), vec![]);
+}
+
+#[test]
+fn malformed_allows_each_report_a0() {
+    let src = include_str!("fixtures/allow_malformed.rs");
+    assert_eq!(
+        hits("allow_malformed.rs", src),
+        vec![(4, "A0"), (7, "A0"), (10, "A0"), (13, "A0")]
+    );
+}
+
+#[test]
+fn fixtures_are_scope_sensitive() {
+    // The same sources linted as harness/test code: only D4 survives.
+    let spawn = include_str!("fixtures/d2_thread_spawn.rs");
+    assert_eq!(lint_source("crates/xbench/src/load.rs", spawn), vec![]);
+    let unsafe_src = include_str!("fixtures/d4_undocumented_unsafe.rs");
+    assert_eq!(
+        lint_source("crates/xbench/src/raw.rs", unsafe_src)
+            .iter()
+            .map(|d| d.rule.id())
+            .collect::<Vec<_>>(),
+        vec!["D4"]
+    );
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let src = include_str!("fixtures/d2_thread_spawn.rs");
+    let d = lint_source("crates/hopset/src/d2_thread_spawn.rs", src);
+    let rendered = d[0].to_string();
+    assert!(
+        rendered.starts_with("error[D2/thread-spawn]:"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("--> crates/hopset/src/d2_thread_spawn.rs:3"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("= note:"), "{rendered}");
+}

@@ -1,0 +1,12 @@
+// Every would-be diagnostic below carries a well-formed escape hatch, so
+// this fixture must lint clean.
+
+fn boundary() -> usize {
+    // xlint: allow(ambient-threads, compat shim resolves the executor once at entry)
+    let exec = Executor::current();
+    exec.threads()
+}
+
+fn timed() {
+    let _ = std::time::Instant::now(); // xlint: allow(wall-clock, same-line escape-hatch form)
+}

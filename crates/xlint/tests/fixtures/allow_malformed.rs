@@ -1,0 +1,14 @@
+// Each annotation below is broken in a different way; every one is an
+// A0/malformed-allow error.
+
+// xlint: allow(ambient-threads)
+fn missing_reason() {}
+
+// xlint: allow(no-such-rule, reason text)
+fn unknown_slug() {}
+
+// xlint: allow(wall-clock, )
+fn empty_reason() {}
+
+// xlint: deny(wall-clock, nope)
+fn wrong_verb() {}

@@ -1,0 +1,10 @@
+// Bad: iterates a HashMap, so hash order leaks into the output (D1).
+use std::collections::HashMap;
+
+fn degree_histogram(deg: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (k, v) in deg.iter() {
+        out.push((*k, *v));
+    }
+    out
+}

@@ -1,0 +1,5 @@
+// Bad: hand-rolled parallelism outside the pram::pool runtime (D2).
+fn relax_in_background(n: usize) -> usize {
+    let h = std::thread::spawn(move || n * 2);
+    h.join().unwrap()
+}

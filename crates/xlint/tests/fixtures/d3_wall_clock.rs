@@ -1,0 +1,5 @@
+// Bad: schedule-visible timing inside an algorithm crate (D3).
+fn timed_round() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

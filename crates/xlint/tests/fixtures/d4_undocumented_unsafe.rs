@@ -1,0 +1,4 @@
+// Bad: an unsafe block with no justification anywhere nearby (D4).
+fn write_zero(p: *mut u8) {
+    unsafe { *p = 0 };
+}

@@ -1,0 +1,8 @@
+// Bad: bare f64 reductions — the result depends on chunk boundaries (D5).
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn total_by_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b)
+}

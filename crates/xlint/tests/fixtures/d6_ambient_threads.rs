@@ -1,0 +1,5 @@
+// Bad: reads the ambient process executor at execution time (D6).
+fn run_round() -> usize {
+    let exec = Executor::current();
+    exec.threads()
+}
