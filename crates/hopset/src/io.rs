@@ -188,7 +188,17 @@ pub fn read_hopset(r: impl Read) -> Result<Hopset, HopsetIoError> {
             let link = if link_tok == "B" {
                 MemEdge::Base
             } else if let Some(idx) = link_tok.strip_prefix('h') {
-                MemEdge::Hop(idx.parse().map_err(|_| perr(lineno, "bad hop index"))?)
+                let idx: u32 = idx.parse().map_err(|_| perr(lineno, "bad hop index"))?;
+                // A hop link recurses into another hopset edge's memory
+                // path; an index past the declared edge count would panic
+                // (or silently mis-resolve) at unfold time.
+                if idx as usize >= ne {
+                    return Err(perr(
+                        lineno,
+                        &format!("hop link h{idx} out of range (edge count {ne})"),
+                    ));
+                }
+                MemEdge::Hop(idx)
             } else {
                 return Err(perr(lineno, "unknown link kind"));
             };
@@ -317,6 +327,27 @@ mod tests {
             read_hopset("H 2 0\ne 0 1 2e0 5 I 0 -\ne 1 2 2e0 3 I 0 -\n".as_bytes()),
             Err(HopsetIoError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_hop_link() {
+        // Regression: the `h<edge-idx>` parse never bounds-checked the
+        // index against the edge count, so `h7` in a 1-edge hopset loaded
+        // fine and blew up (or mis-resolved) at path unfold time.
+        let err = read_hopset("H 1 1\ne 0 1 2e0 3 I 0 0\np 1 0 h7 1e0 1\n".as_bytes()).unwrap_err();
+        match err {
+            HopsetIoError::Parse { line, msg } => {
+                assert_eq!(line, 3, "error must point at the offending 'p' line");
+                assert!(
+                    msg.contains("h7") && msg.contains("out of range"),
+                    "got: {msg}"
+                );
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // In-range hop links still load.
+        let h = read_hopset("H 1 1\ne 0 1 2e0 3 I 0 0\np 1 0 h0 1e0 1\n".as_bytes()).unwrap();
+        assert_eq!(h.paths.len(), 1);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod path_report;
 pub mod reduction;
 pub mod ruling;
 pub mod single_scale;
+pub mod snapshot;
 pub mod store;
 pub mod validate;
 pub mod virtual_bfs;
@@ -76,5 +77,8 @@ pub use partition::{Cluster, ClusterMemory, Partition};
 pub use path::{MemEdge, MemoryPath};
 pub use ruling::{ruling_set, RulingTrace};
 pub use single_scale::{PhaseStats, ScaleReport};
+pub use snapshot::{
+    load_hopset_snapshot, read_hopset_snapshot, save_hopset_snapshot, write_hopset_snapshot,
+};
 pub use store::{EdgeKind, Hopset, HopsetEdge, ScaleSlice};
 pub use virtual_bfs::{ExploreScratch, Explorer};

@@ -64,7 +64,7 @@ pub struct HopsetEdge {
     pub path: Option<u32>,
 }
 
-/// Column sentinel for "no memory path recorded".
+/// Column sentinel for "no memory path recorded" (see [`Hopset::NO_PATH`]).
 const NO_PATH: u32 = u32::MAX;
 
 /// A zero-copy view of one contiguous scale range of a [`Hopset`]: borrowed
@@ -163,6 +163,10 @@ pub struct Hopset {
 }
 
 impl Hopset {
+    /// The `path_ids` column sentinel for "no memory path recorded" —
+    /// public so the snapshot layer can stream the column verbatim.
+    pub const NO_PATH: u32 = NO_PATH;
+
     /// Empty hopset.
     pub fn new() -> Self {
         Self::default()
@@ -206,6 +210,20 @@ impl Hopset {
     #[inline]
     pub fn kinds(&self) -> &[EdgeKind] {
         &self.kinds
+    }
+
+    /// The raw path-id column ([`Hopset::NO_PATH`] = none) — the snapshot
+    /// layer streams this verbatim; use [`Hopset::path_id`] for typed access.
+    #[inline]
+    pub fn path_ids(&self) -> &[u32] {
+        &self.path_ids
+    }
+
+    /// The sparse `(scale, first edge index)` offset table, both columns
+    /// strictly ascending.
+    #[inline]
+    pub fn scale_starts(&self) -> &[(u32, u32)] {
+        &self.scale_starts
     }
 
     /// Edge `i`, assembled from the columns.
@@ -352,6 +370,43 @@ impl Hopset {
     /// The memory path of edge `edge_idx`, if recorded.
     pub fn path_of(&self, edge_idx: u32) -> Option<&MemoryPath> {
         self.path_id(edge_idx).map(|p| &self.paths[p as usize])
+    }
+
+    /// Assemble a hopset directly from validated columns. Callers (the
+    /// snapshot loader) must have checked every layout invariant — column
+    /// lengths equal, scales non-decreasing, `scale_starts` matching the
+    /// scale column, tally matching the kind column, path ids in range.
+    /// Debug assertions spot-check shape only.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns(
+        us: Vec<VId>,
+        vs: Vec<VId>,
+        ws: Vec<Weight>,
+        scales: Vec<u32>,
+        kinds: Vec<EdgeKind>,
+        path_ids: Vec<u32>,
+        scale_starts: Vec<(u32, u32)>,
+        kind_tally: [usize; 3],
+        paths: Vec<MemoryPath>,
+    ) -> Hopset {
+        debug_assert_eq!(us.len(), vs.len());
+        debug_assert_eq!(us.len(), ws.len());
+        debug_assert_eq!(us.len(), scales.len());
+        debug_assert_eq!(us.len(), kinds.len());
+        debug_assert_eq!(us.len(), path_ids.len());
+        debug_assert_eq!(kind_tally.iter().sum::<usize>(), us.len());
+        debug_assert!(scales.windows(2).all(|w| w[0] <= w[1]));
+        Hopset {
+            us,
+            vs,
+            ws,
+            scales,
+            kinds,
+            path_ids,
+            scale_starts,
+            kind_tally,
+            paths,
+        }
     }
 }
 

@@ -160,6 +160,48 @@ impl Graph {
     pub fn total_weight(&self) -> Weight {
         self.edges.iter().map(|e| e.2).sum()
     }
+
+    /// The raw CSR offsets column (`n + 1` entries; `offsets[v]..offsets[v+1]`
+    /// indexes the adjacency columns of vertex `v`). Exposed for the snapshot
+    /// layer, which streams columns verbatim.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw neighbor-id column (`2m` entries, each adjacency run sorted).
+    #[inline]
+    pub fn neighbor_column(&self) -> &[VId] {
+        &self.neigh
+    }
+
+    /// The raw weight column, parallel to [`Graph::neighbor_column`].
+    #[inline]
+    pub fn weight_column(&self) -> &[Weight] {
+        &self.wt
+    }
+
+    /// Assemble a graph directly from validated columns. Callers (the
+    /// snapshot loader) must have checked every [`Graph`] invariant: the
+    /// debug assertions here only spot-check shape.
+    pub(crate) fn from_raw_parts(
+        n: usize,
+        offsets: Vec<usize>,
+        neigh: Vec<VId>,
+        wt: Vec<Weight>,
+        edges: Vec<(VId, VId, Weight)>,
+    ) -> Graph {
+        debug_assert_eq!(offsets.len(), n + 1);
+        debug_assert_eq!(neigh.len(), 2 * edges.len());
+        debug_assert_eq!(wt.len(), neigh.len());
+        Graph {
+            n,
+            offsets,
+            neigh,
+            wt,
+            edges,
+        }
+    }
 }
 
 /// Summary statistics of a [`Graph`].

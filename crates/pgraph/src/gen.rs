@@ -126,6 +126,11 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 /// Seeded Erdős–Rényi G(n, m) with weights uniform in `[lo, hi]`.
 /// Duplicate draws are collapsed by the builder (min weight wins), so the
 /// edge count may be slightly below `m`.
+///
+/// Contract: the rejection loop is capped at `20m + 100` attempts; hitting
+/// the cap without drawing `m` non-loop pairs is astronomically unlikely for
+/// `n >= 2` (each draw succeeds with probability `>= 1/2`), and is treated
+/// as a generator bug — loud in debug builds via `debug_assert`.
 pub fn gnm(n: usize, m: usize, seed: u64, lo: Weight, hi: Weight) -> Graph {
     assert!(n >= 2 && lo > 0.0 && hi >= lo);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -141,11 +146,18 @@ pub fn gnm(n: usize, m: usize, seed: u64, lo: Weight, hi: Weight) -> Graph {
             added += 1;
         }
     }
+    debug_assert!(
+        added == m,
+        "gnm attempts cap hit after drawing {added}/{m} edges (n = {n})"
+    );
     b.build().expect("gnm is valid")
 }
 
 /// G(n, m) plus a random-weight Hamiltonian path, guaranteeing connectivity.
+/// Requires `n >= 2` (as `gnm` does — asserted here before any arithmetic so
+/// the failure names this function, not an underflow inside it).
 pub fn gnm_connected(n: usize, m: usize, seed: u64, lo: Weight, hi: Weight) -> Graph {
+    assert!(n >= 2, "gnm_connected needs n >= 2, got n = {n}");
     let g = gnm(n, m.saturating_sub(n - 1), seed, lo, hi);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let mut b = GraphBuilder::with_capacity(n, m + n);
@@ -331,6 +343,30 @@ mod tests {
         let g = gnm_connected(40, 60, 3, 1.0, 2.0);
         let d = bfs_hops(&g, 0);
         assert!(d.iter().all(|&x| x != usize::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "gnm_connected needs n >= 2")]
+    fn gnm_connected_rejects_n_zero_with_clear_message() {
+        // Regression: `m.saturating_sub(n - 1)` evaluated `n - 1` first,
+        // so n == 0 died with a raw subtract-overflow in debug builds.
+        gnm_connected(0, 10, 1, 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gnm_connected needs n >= 2")]
+    fn gnm_connected_rejects_n_one_with_clear_message() {
+        gnm_connected(1, 10, 1, 1.0, 2.0);
+    }
+
+    #[test]
+    fn gnm_fills_requested_edge_count() {
+        // The attempts cap must not silently under-fill in realistic use
+        // (duplicate draws still count as `added`; only self loops retry).
+        let g = gnm(16, 40, 5, 1.0, 2.0);
+        // After min-weight dedup the count may shrink, but the builder saw
+        // exactly m draws — spot-check the graph is substantial.
+        assert!(g.num_edges() > 0);
     }
 
     #[test]

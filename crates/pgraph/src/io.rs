@@ -13,6 +13,8 @@ use crate::{Graph, GraphBuilder, VId, Weight};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+pub mod dimacs;
+
 /// Errors raised while parsing the text format.
 #[derive(Debug)]
 pub enum IoError {
@@ -114,9 +116,15 @@ pub fn read_graph(r: impl Read) -> Result<Graph, IoError> {
             None => unreachable!("non-empty line has a token"),
         }
     }
-    let b = builder.ok_or(IoError::Parse {
-        line: lineno,
-        msg: "missing 'p' line".into(),
+    // Report line 1 for empty input: `lineno` is still 0 when no line was
+    // ever read, and "line 0" points at nothing.
+    let b = builder.ok_or_else(|| IoError::Parse {
+        line: lineno.max(1),
+        msg: if lineno == 0 {
+            "empty input (missing 'p' line)".into()
+        } else {
+            "missing 'p' line".into()
+        },
     })?;
     if b.len() != declared_edges {
         return Err(IoError::Parse {
@@ -192,5 +200,31 @@ mod tests {
     fn rejects_invalid_graph() {
         let err = read_graph("p 2 1\ne 0 0 1.0\n".as_bytes()).unwrap_err();
         assert!(matches!(err, IoError::Graph(_)));
+    }
+
+    #[test]
+    fn empty_input_reports_line_one() {
+        // Regression: `lineno` stays 0 when no line is read, and the old
+        // code reported "parse error at line 0".
+        let err = read_graph("".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, msg } => {
+                assert_eq!(line, 1, "empty input must point at line 1, not 0");
+                assert!(msg.contains("empty input"), "got: {msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_only_input_reports_last_line() {
+        let err = read_graph("c nothing here\nc still nothing\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("missing 'p' line"), "got: {msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 }

@@ -15,7 +15,10 @@
 //!   the experiment harness,
 //! * [`exact`] — exact reference algorithms (Dijkstra, hop-limited
 //!   Bellman–Ford, BFS) used as ground truth when measuring stretch,
-//! * [`io`] — a tiny DIMACS-like text format (no external dependencies).
+//! * [`io`] — a tiny DIMACS-like text format (no external dependencies) and
+//!   [`io::dimacs`], ingestion of the standard DIMACS `.gr` challenge format,
+//! * [`snapshot`] — versioned binary snapshots of the CSR columns
+//!   (zero-decode load; DESIGN.md §11).
 //!
 //! Everything in this crate is deterministic; randomized generators take an
 //! explicit seed.
@@ -24,9 +27,11 @@ pub mod csr;
 pub mod exact;
 pub mod gen;
 pub mod io;
+pub mod snapshot;
 pub mod view;
 
 pub use csr::{Graph, GraphBuilder, GraphStats};
+pub use snapshot::SnapshotError;
 pub use view::{EdgeTag, OverlayCsr, OverlayCsrBuilder, UnionGraph, UnionView};
 
 /// Vertex identifier. Graphs are limited to `u32::MAX` vertices, which keeps

@@ -121,6 +121,17 @@ impl Ledger {
     pub fn snapshot(&self) -> (u64, u64) {
         (self.work, self.depth)
     }
+
+    /// Reassemble a ledger from previously recorded counters — used by the
+    /// snapshot layer to restore construction-time accounting on load, so a
+    /// reloaded oracle reports the same work/depth/width it was built with.
+    pub fn from_parts(work: u64, depth: u64, max_width: u64) -> Self {
+        Ledger {
+            work,
+            depth,
+            max_width,
+        }
+    }
 }
 
 #[inline]

@@ -34,6 +34,7 @@ pub mod cache;
 pub mod delta_stepping;
 pub mod eval;
 pub mod oracle;
+pub mod snapshot;
 pub mod spt;
 
 pub use assd::ApproxShortestPaths;
@@ -44,4 +45,5 @@ pub use oracle::{
     DeltaSteppingOracle, DijkstraOracle, DistanceMatrix, DistanceOracle, MultiSourceResult, Oracle,
     OracleBuilder, Pipeline, SsspError,
 };
+pub use snapshot::{SnapshotError, ORACLE_MAGIC};
 pub use spt::ApproxSptEngine;

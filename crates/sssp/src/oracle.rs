@@ -367,7 +367,7 @@ pub enum Pipeline {
 }
 
 #[derive(Debug)]
-enum OracleBackend {
+pub(crate) enum OracleBackend {
     Plain(BuiltHopset),
     Reduced(ReducedHopset),
 }
@@ -572,15 +572,15 @@ impl OracleBuilder {
 /// in an `Arc` and query it from as many threads as you like.
 #[derive(Debug)]
 pub struct Oracle {
-    union: UnionGraph,
-    backend: OracleBackend,
-    eps: f64,
-    kappa: usize,
-    query_hops: usize,
-    paths: bool,
-    threads: Option<usize>,
+    pub(crate) union: UnionGraph,
+    pub(crate) backend: OracleBackend,
+    pub(crate) eps: f64,
+    pub(crate) kappa: usize,
+    pub(crate) query_hops: usize,
+    pub(crate) paths: bool,
+    pub(crate) threads: Option<usize>,
     /// The persistent pool construction ran on and every query runs on.
-    exec: Executor,
+    pub(crate) exec: Executor,
 }
 
 impl Oracle {

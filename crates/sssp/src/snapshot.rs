@@ -1,0 +1,441 @@
+//! Oracle snapshots — build once, serve forever.
+//!
+//! An [`Oracle`] is the expensive artifact of this workspace: the
+//! deterministic hopset construction dominates its cost, while queries are
+//! a β-round Bellman–Ford. This module makes the built oracle a shippable
+//! file: [`Oracle::save_snapshot`] writes one container
+//! (magic `PSSORACL`) that embeds the graph and hopset containers of
+//! [`pgraph::snapshot`] / [`hopset::snapshot`] as raw sections plus every
+//! derived parameter as a params block, and
+//! [`OracleBuilder::from_snapshot`] loads it back without re-running any
+//! construction.
+//!
+//! **Why the loaded oracle is bit-identical** (the determinism contract,
+//! DESIGN.md §5/§11): queries consume exactly (a) the `G ∪ H` union CSR —
+//! rebuilt here with the same `OverlayCsr::build_columns` call over the
+//! same columns `build()` used — (b) the query hop budget, and (c) for SPT
+//! extraction, the hopset's memory paths. All three are stored verbatim
+//! (f64 weights as bit patterns), so every query on the loaded oracle
+//! relaxes the same edges in the same deterministic order as on the
+//! original. The full [`HopsetParams`] block is serialized field-by-field
+//! rather than recomputed from (ε, κ, ρ) so a future constant change in
+//! the derivation can never skew a loaded artifact. Construction-side
+//! reports ([`BuiltHopset::scales`] / [`ReducedHopset::levels`]) are
+//! diagnostics of the *construction run* and are not persisted — the
+//! loaded reports are empty, the ledger totals are restored.
+
+use crate::oracle::{Oracle, OracleBackend, OracleBuilder, Pipeline};
+use hopset::multi_scale::BuiltHopset;
+use hopset::params::{DeltaSchedule, HopsetParams, ParamMode};
+use hopset::reduction::ReducedHopset;
+use hopset::snapshot::{hopset_snapshot_size, read_hopset_snapshot, write_hopset_snapshot};
+use pgraph::snapshot::{
+    container_size, graph_snapshot_size, read_graph_snapshot, write_graph_snapshot,
+    ContainerReader, ContainerWriter, ParamsBuf, ParamsReader, SectionDecl,
+};
+use pgraph::{OverlayCsr, UnionGraph};
+use pram::pool::Executor;
+use pram::Ledger;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+pub use pgraph::snapshot::SnapshotError;
+
+/// Magic of the [`Oracle`] container.
+pub const ORACLE_MAGIC: [u8; 8] = *b"PSSORACL";
+
+fn corrupt(what: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt { what: what.into() }
+}
+
+fn encode_params(p: &mut ParamsBuf, o: &Oracle) {
+    let ledger = match &o.backend {
+        OracleBackend::Plain(b) => &b.ledger,
+        OracleBackend::Reduced(r) => &r.ledger,
+    };
+    p.f64(o.eps)
+        .u64(o.kappa as u64)
+        .u8(o.paths as u8)
+        .u8(match o.backend {
+            OracleBackend::Plain(_) => 0,
+            OracleBackend::Reduced(_) => 1,
+        })
+        .u64(o.query_hops as u64)
+        .u64(ledger.work())
+        .u64(ledger.depth())
+        .u64(ledger.max_width());
+    match &o.backend {
+        OracleBackend::Plain(b) => {
+            p.u32(b.k0).u32(b.lambda);
+            let hp = &b.params;
+            p.u64(hp.n as u64)
+                .f64(hp.eps)
+                .u64(hp.kappa as u64)
+                .f64(hp.rho)
+                .u8(match hp.mode {
+                    ParamMode::Theory => 0,
+                    ParamMode::Practical => 1,
+                })
+                .u8(match hp.delta_schedule {
+                    DeltaSchedule::Corrected => 0,
+                    DeltaSchedule::PaperLiteral => 1,
+                })
+                .u32(hp.log2n)
+                .i64(hp.i0 as i64)
+                .u64(hp.ell as u64)
+                .u32(hp.degrees.len() as u32);
+            for &d in &hp.degrees {
+                p.u64(d as u64);
+            }
+            p.f64(hp.eps_int)
+                .f64(hp.eps_scale)
+                .u64(hp.beta as u64)
+                .u64(hp.hop_limit as u64)
+                .u64(hp.query_hops as u64)
+                .u64(hp.sigma as u64);
+        }
+        OracleBackend::Reduced(r) => {
+            p.u64(r.star_edges as u64).f64(r.eps);
+        }
+    }
+}
+
+fn as_usize(v: u64, what: &str) -> Result<usize, SnapshotError> {
+    usize::try_from(v).map_err(|_| corrupt(format!("{what} = {v} overflows usize")))
+}
+
+fn decode_hopset_params(p: &mut ParamsReader<'_>) -> Result<HopsetParams, SnapshotError> {
+    let n = as_usize(p.u64()?, "params.n")?;
+    let eps = p.f64()?;
+    let kappa = as_usize(p.u64()?, "params.kappa")?;
+    let rho = p.f64()?;
+    let mode = match p.u8()? {
+        0 => ParamMode::Theory,
+        1 => ParamMode::Practical,
+        c => return Err(corrupt(format!("unknown param mode code {c}"))),
+    };
+    let delta_schedule = match p.u8()? {
+        0 => DeltaSchedule::Corrected,
+        1 => DeltaSchedule::PaperLiteral,
+        c => return Err(corrupt(format!("unknown delta schedule code {c}"))),
+    };
+    let log2n = p.u32()?;
+    let i0 = p.i64()? as isize;
+    let ell = as_usize(p.u64()?, "params.ell")?;
+    let deg_count = p.u32()? as usize;
+    let mut degrees = Vec::with_capacity(deg_count.min(1 << 16));
+    for _ in 0..deg_count {
+        degrees.push(as_usize(p.u64()?, "params.degrees[i]")?);
+    }
+    let eps_int = p.f64()?;
+    let eps_scale = p.f64()?;
+    let beta = as_usize(p.u64()?, "params.beta")?;
+    let hop_limit = as_usize(p.u64()?, "params.hop_limit")?;
+    let query_hops = as_usize(p.u64()?, "params.query_hops")?;
+    let sigma = as_usize(p.u64()?, "params.sigma")?;
+    Ok(HopsetParams {
+        n,
+        eps,
+        kappa,
+        rho,
+        mode,
+        delta_schedule,
+        log2n,
+        i0,
+        ell,
+        degrees,
+        eps_int,
+        eps_scale,
+        beta,
+        hop_limit,
+        query_hops,
+        sigma,
+    })
+}
+
+fn oracle_sections(o: &Oracle) -> Vec<SectionDecl> {
+    let h = match &o.backend {
+        OracleBackend::Plain(b) => &b.hopset,
+        OracleBackend::Reduced(r) => &r.hopset,
+    };
+    vec![
+        SectionDecl {
+            tag: *b"grph",
+            elem_size: 1,
+            count: graph_snapshot_size(o.graph()),
+        },
+        SectionDecl {
+            tag: *b"hops",
+            elem_size: 1,
+            count: hopset_snapshot_size(h),
+        },
+    ]
+}
+
+impl Oracle {
+    /// Exact byte size [`Oracle::write_snapshot`] will emit.
+    pub fn snapshot_size(&self) -> u64 {
+        let mut params = ParamsBuf::new();
+        encode_params(&mut params, self);
+        container_size(params.len(), &oracle_sections(self))
+    }
+
+    /// Write this oracle as a binary snapshot: one container embedding the
+    /// graph and hopset containers plus every derived parameter.
+    pub fn write_snapshot(&self, mut w: impl Write) -> Result<(), SnapshotError> {
+        let mut params = ParamsBuf::new();
+        encode_params(&mut params, self);
+        let mut cw = ContainerWriter::begin(
+            &mut w,
+            &ORACLE_MAGIC,
+            params.as_slice(),
+            oracle_sections(self),
+        )?;
+        cw.raw(*b"grph", |out| write_graph_snapshot(self.graph(), out))?;
+        let h = match &self.backend {
+            OracleBackend::Plain(b) => &b.hopset,
+            OracleBackend::Reduced(r) => &r.hopset,
+        };
+        cw.raw(*b"hops", |out| write_hopset_snapshot(h, out))?;
+        cw.finish()
+    }
+
+    /// Save this oracle to a snapshot file.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_snapshot(&mut out)?;
+        out.flush()?;
+        Ok(())
+    }
+}
+
+impl OracleBuilder {
+    /// Load an oracle from a snapshot file written by
+    /// [`Oracle::save_snapshot`] — no construction runs; query results are
+    /// bit-identical to the oracle that was saved. The loaded oracle
+    /// captures the process-default executor.
+    pub fn from_snapshot(path: impl AsRef<Path>) -> Result<Oracle, SnapshotError> {
+        // xlint: allow(ambient-threads, snapshot load is a construction-time boundary capturing the process default once)
+        Self::from_snapshot_on(path, Executor::current())
+    }
+
+    /// Load an oracle from a snapshot file onto an explicit executor.
+    pub fn from_snapshot_on(
+        path: impl AsRef<Path>,
+        exec: Executor,
+    ) -> Result<Oracle, SnapshotError> {
+        Self::from_snapshot_reader(std::io::BufReader::new(std::fs::File::open(path)?), exec)
+    }
+
+    /// Load an oracle from any reader (e.g. an in-memory buffer or a
+    /// network stream) onto an explicit executor.
+    pub fn from_snapshot_reader(r: impl Read, exec: Executor) -> Result<Oracle, SnapshotError> {
+        let mut cr = ContainerReader::open(r, &ORACLE_MAGIC)?;
+        let header = cr.params().to_vec();
+        let mut p = ParamsReader::new(&header);
+        let eps = p.f64()?;
+        let kappa = as_usize(p.u64()?, "kappa")?;
+        let paths = match p.u8()? {
+            0 => false,
+            1 => true,
+            c => return Err(corrupt(format!("bad paths flag {c}"))),
+        };
+        let pipeline = match p.u8()? {
+            0 => Pipeline::Plain,
+            1 => Pipeline::Reduced,
+            c => return Err(corrupt(format!("unknown pipeline code {c}"))),
+        };
+        let query_hops = as_usize(p.u64()?, "query_hops")?;
+        let ledger = Ledger::from_parts(p.u64()?, p.u64()?, p.u64()?);
+
+        let backend_head = match pipeline {
+            Pipeline::Plain => {
+                let k0 = p.u32()?;
+                let lambda = p.u32()?;
+                let params = decode_hopset_params(&mut p)?;
+                if params.query_hops != query_hops {
+                    return Err(corrupt(format!(
+                        "stored query hop budget {query_hops} disagrees with params ({})",
+                        params.query_hops
+                    )));
+                }
+                Ok::<_, SnapshotError>((Some((k0, lambda, params)), 0, 0.0))
+            }
+            Pipeline::Reduced => {
+                let star_edges = as_usize(p.u64()?, "star_edges")?;
+                let reduced_eps = p.f64()?;
+                Ok((None, star_edges, reduced_eps))
+            }
+            Pipeline::Auto => unreachable!("decoded from a two-valued code"),
+        }?;
+
+        let graph = cr.raw(*b"grph", |r| read_graph_snapshot(r))?;
+        let hopset = cr.raw(*b"hops", |r| read_hopset_snapshot(r))?;
+        let n = graph.num_vertices();
+
+        // Cross-container validation the standalone hopset loader cannot do
+        // (it does not know n): endpoint and path-vertex ranges.
+        for (i, (&u, &v)) in hopset.us().iter().zip(hopset.vs()).enumerate() {
+            if u as usize >= n || v as usize >= n {
+                return Err(corrupt(format!(
+                    "hopset edge {i} ({u}, {v}) out of vertex range {n}"
+                )));
+            }
+        }
+        for (i, mp) in hopset.paths.iter().enumerate() {
+            if !mp.validate(n) {
+                return Err(corrupt(format!(
+                    "memory path {i} is structurally invalid for n = {n}"
+                )));
+            }
+        }
+        if paths && !hopset.all_paths_recorded() {
+            return Err(corrupt(
+                "paths flag set but not every hopset edge carries a memory path",
+            ));
+        }
+
+        // Rebuild the union CSR with the same call `build()` uses — same
+        // columns in, same deterministic bucketing, bit-identical queries.
+        let csr = OverlayCsr::build_columns(n, hopset.us(), hopset.vs(), hopset.ws());
+        let graph = Arc::new(graph);
+        let union = UnionGraph::from_csr(Arc::clone(&graph), csr);
+
+        let backend = match backend_head {
+            (Some((k0, lambda, params)), _, _) => OracleBackend::Plain(BuiltHopset {
+                hopset,
+                params,
+                scales: Vec::new(),
+                ledger,
+                k0,
+                lambda,
+            }),
+            (None, star_edges, reduced_eps) => OracleBackend::Reduced(ReducedHopset {
+                hopset,
+                levels: Vec::new(),
+                ledger,
+                query_hops,
+                star_edges,
+                eps: reduced_eps,
+            }),
+        };
+
+        Ok(Oracle {
+            union,
+            backend,
+            eps,
+            kappa,
+            query_hops,
+            paths,
+            threads: None,
+            exec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DistanceOracle;
+    use pgraph::gen;
+
+    fn roundtrip(o: &Oracle) -> Oracle {
+        let mut buf = Vec::new();
+        o.write_snapshot(&mut buf).unwrap();
+        assert_eq!(buf.len() as u64, o.snapshot_size());
+        // xlint: allow(ambient-threads, test loads onto the process default executor)
+        OracleBuilder::from_snapshot_reader(buf.as_slice(), Executor::current()).unwrap()
+    }
+
+    #[test]
+    fn plain_oracle_roundtrips_bit_identically() {
+        let g = gen::road_grid(12, 12, 7, 1.0, 8.0);
+        let o = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+        let o2 = roundtrip(&o);
+        assert_eq!(o2.pipeline(), Pipeline::Plain);
+        assert_eq!(o.query_hops(), o2.query_hops());
+        assert_eq!(o.hopset_size(), o2.hopset_size());
+        assert_eq!(o.cost(), o2.cost());
+        for src in [0u32, 77, 143] {
+            let a = o.distances_from(src).unwrap();
+            let b = o2.distances_from(src).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(
+            o.distance(0, 143).unwrap().to_bits(),
+            o2.distance(0, 143).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn reduced_oracle_roundtrips() {
+        let g = gen::exponential_path(28, 3.0);
+        let o = Oracle::builder(g).eps(0.5).build().unwrap();
+        assert_eq!(o.pipeline(), Pipeline::Reduced);
+        let o2 = roundtrip(&o);
+        assert_eq!(o2.pipeline(), Pipeline::Reduced);
+        assert_eq!(o2.name(), "hopset-reduced");
+        assert_eq!(
+            o.reduced().unwrap().star_edges,
+            o2.reduced().unwrap().star_edges
+        );
+        let a = o.distances_from(0).unwrap();
+        let b = o2.distances_from(0).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn spt_serves_from_loaded_oracle() {
+        let g = gen::clique_chain(4, 6, 2.0);
+        let o = Oracle::builder(g).paths(true).build().unwrap();
+        let o2 = roundtrip(&o);
+        assert!(o2.has_paths());
+        let a = o.spt(0).unwrap();
+        let b = o2.spt(0).unwrap();
+        assert_eq!(a.parent, b.parent);
+        for (x, y) in a.dist.iter().zip(&b.dist) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn oracle_snapshot_error_paths_are_typed() {
+        let g = gen::path(16);
+        let o = Oracle::builder(g).build().unwrap();
+        let mut buf = Vec::new();
+        o.write_snapshot(&mut buf).unwrap();
+        // xlint: allow(ambient-threads, test loads onto the process default executor)
+        let exec = Executor::current();
+
+        let mut bad = buf.clone();
+        bad[3] = b'!';
+        assert!(matches!(
+            OracleBuilder::from_snapshot_reader(bad.as_slice(), exec.clone()),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            OracleBuilder::from_snapshot_reader(bad.as_slice(), exec.clone()),
+            Err(SnapshotError::UnsupportedVersion { found: 3, .. })
+        ));
+
+        let mut bad = buf.clone();
+        bad[24] ^= 0x01;
+        assert!(matches!(
+            OracleBuilder::from_snapshot_reader(bad.as_slice(), exec.clone()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        assert!(matches!(
+            OracleBuilder::from_snapshot_reader(&buf[..buf.len() / 3], exec),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+}

@@ -19,6 +19,7 @@ pub mod exp_lint;
 pub mod exp_pool;
 pub mod exp_quality;
 pub mod exp_serve;
+pub mod exp_snapshot;
 pub mod table;
 
 /// Global experiment configuration.
@@ -142,6 +143,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             exp_serve::serve,
         ),
         (
+            "snapshot",
+            "persistence: construct-vs-load wall times and bytes (DESIGN.md §11)",
+            exp_snapshot::snapshot,
+        ),
+        (
             "lint",
             "gate: xlint determinism-contract static analysis (DESIGN.md §10)",
             exp_lint::lint,
@@ -160,7 +166,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert_eq!(reg.len(), 21);
+        assert_eq!(reg.len(), 22);
     }
 
     #[test]

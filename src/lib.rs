@@ -88,7 +88,7 @@ pub mod prelude {
     pub use sssp::{
         delta_stepping, CacheStats, CachedOracle, CachedRow, DeltaSteppingOracle, DijkstraOracle,
         DistanceMatrix, DistanceOracle, MultiSourceResult, Oracle, OracleBuilder, Pipeline,
-        SsspError,
+        SnapshotError, SsspError,
     };
     #[allow(deprecated)]
     pub use sssp::{ApproxShortestPaths, ApproxSptEngine};

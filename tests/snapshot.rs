@@ -1,0 +1,274 @@
+//! The persistence contract (DESIGN.md §11): snapshots round-trip
+//! bit-identically, and every way a file can lie is a typed error.
+//!
+//! Three layers are pinned here:
+//!
+//! 1. **Graph container** — `pgraph::snapshot` round-trips the CSR columns
+//!    verbatim across generator families (proptest drives the family and
+//!    its parameters).
+//! 2. **Oracle container** — `sssp::snapshot` reloads an oracle whose
+//!    distances, SPTs, and construction ledger are bit-identical to the
+//!    one saved, on both the plain and the weight-reduced pipeline.
+//! 3. **Error paths** — corrupted header, truncated section, wrong
+//!    version, and out-of-bounds column bytes are rejected with the
+//!    matching [`SnapshotError`] variant, never a panic or a silently
+//!    wrong graph.
+//!
+//! Plus the ingestion pipeline end to end: DIMACS text in, oracle built,
+//! snapshot out, reload, bit-identical answers.
+
+use pgraph::snapshot::{
+    load_graph_snapshot, read_graph_snapshot, save_graph_snapshot, write_graph_snapshot,
+    SnapshotError,
+};
+use pram_sssp::prelude::*;
+use proptest::prelude::*;
+
+/// Round-trip an oracle through an in-memory snapshot buffer.
+fn reload(o: &Oracle) -> Oracle {
+    let mut buf = Vec::new();
+    o.write_snapshot(&mut buf).expect("write snapshot");
+    assert_eq!(
+        buf.len() as u64,
+        o.snapshot_size(),
+        "size is declared exactly"
+    );
+    OracleBuilder::from_snapshot_reader(buf.as_slice(), o.executor().clone())
+        .expect("read snapshot")
+}
+
+/// Distances from `src` must agree to the bit.
+fn assert_rows_identical(a: &Oracle, b: &Oracle, src: u32) {
+    let da = a.distances_from(src).expect("in range");
+    let db = b.distances_from(src).expect("in range");
+    assert_eq!(da.len(), db.len());
+    for (x, y) in da.iter().zip(&db) {
+        assert_eq!(x.to_bits(), y.to_bits(), "row {src} diverged");
+    }
+}
+
+/// One graph from a proptest-driven family: gnm, road grid, or geometric
+/// (the shimmed proptest has no `prop_oneof`, so the family is an integer).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0usize..3, 16usize..64, 1usize..4, any::<u64>()).prop_map(|(fam, n, d, s)| match fam {
+        0 => gen::gnm_connected(n, n * d, s, 1.0, 10.0),
+        1 => gen::road_grid(4 + n % 6, 4 + d + n % 5, s, 1.0, 8.0),
+        _ => gen::geometric(n, 0.4, s),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Layer 1: the graph container restores every CSR column verbatim
+    /// (weights compared as bit patterns — no float laundering).
+    #[test]
+    fn graph_snapshot_roundtrips_all_families(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).expect("write");
+        let g2 = read_graph_snapshot(buf.as_slice()).expect("read");
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        prop_assert_eq!(g.offsets(), g2.offsets());
+        prop_assert_eq!(g.neighbor_column(), g2.neighbor_column());
+        let wa: Vec<u64> = g.weight_column().iter().map(|w| w.to_bits()).collect();
+        let wb: Vec<u64> = g2.weight_column().iter().map(|w| w.to_bits()).collect();
+        prop_assert_eq!(wa, wb);
+    }
+
+    /// Layer 2, plain pipeline: distances and the construction ledger
+    /// survive the round trip bit-for-bit.
+    #[test]
+    fn plain_oracle_roundtrips(g in arb_graph(), src_sel in 0usize..8) {
+        let n = g.num_vertices();
+        let oracle = Oracle::builder(g)
+            .eps(0.25)
+            .kappa(4)
+            .pipeline(Pipeline::Plain)
+            .build()
+            .unwrap();
+        let loaded = reload(&oracle);
+        prop_assert_eq!(loaded.pipeline(), Pipeline::Plain);
+        prop_assert_eq!(oracle.query_hops(), loaded.query_hops());
+        prop_assert_eq!(oracle.hopset_size(), loaded.hopset_size());
+        prop_assert_eq!(oracle.cost(), loaded.cost());
+        assert_rows_identical(&oracle, &loaded, ((src_sel * n) / 8) as u32);
+    }
+
+    /// Layer 2, weight-reduced pipeline: same contract, no aspect-ratio
+    /// assumption.
+    #[test]
+    fn reduced_oracle_roundtrips(g in arb_graph()) {
+        let oracle = Oracle::builder(g)
+            .eps(0.5)
+            .kappa(4)
+            .pipeline(Pipeline::Reduced)
+            .build()
+            .unwrap();
+        let loaded = reload(&oracle);
+        prop_assert_eq!(loaded.pipeline(), Pipeline::Reduced);
+        prop_assert_eq!(oracle.cost(), loaded.cost());
+        assert_rows_identical(&oracle, &loaded, 0);
+    }
+
+    /// Layer 2 with memory paths: the loaded oracle extracts the same SPT.
+    #[test]
+    fn spt_survives_roundtrip(g in arb_graph()) {
+        let oracle = Oracle::builder(g).eps(0.3).kappa(4).paths(true).build().unwrap();
+        let loaded = reload(&oracle);
+        assert!(loaded.has_paths());
+        let a = oracle.spt(0).unwrap();
+        let b = loaded.spt(0).unwrap();
+        prop_assert_eq!(a.parent, b.parent);
+        let da: Vec<u64> = a.dist.iter().map(|w| w.to_bits()).collect();
+        let db: Vec<u64> = b.dist.iter().map(|w| w.to_bits()).collect();
+        prop_assert_eq!(da, db);
+    }
+}
+
+// ---- Layer 3: every way a file can lie. ------------------------------------
+
+fn graph_bytes() -> Vec<u8> {
+    let g = gen::road_grid(5, 5, 3, 1.0, 4.0);
+    let mut buf = Vec::new();
+    write_graph_snapshot(&g, &mut buf).expect("write");
+    buf
+}
+
+#[test]
+fn corrupted_header_is_a_checksum_error() {
+    let mut buf = graph_bytes();
+    buf[24] ^= 0x40; // first header byte, covered by the stored FNV-1a-64
+    assert!(matches!(
+        read_graph_snapshot(buf.as_slice()),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_version_is_typed() {
+    let mut buf = graph_bytes();
+    buf[8..12].copy_from_slice(&7u32.to_le_bytes());
+    match read_graph_snapshot(buf.as_slice()) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 7);
+            assert_eq!(supported, pgraph::snapshot::FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_section_is_typed() {
+    let buf = graph_bytes();
+    for cut in [10, 30, buf.len() / 2, buf.len() - 5] {
+        assert!(
+            matches!(
+                read_graph_snapshot(&buf[..cut]),
+                Err(SnapshotError::Truncated { .. })
+            ),
+            "cut at {cut} must be a Truncated error"
+        );
+    }
+}
+
+#[test]
+fn out_of_bounds_column_is_corrupt() {
+    let mut buf = graph_bytes();
+    // Section data starts right after the checksummed header; the first
+    // section is the (n+1)-entry u64 offset column, then neighbors.
+    let header_len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    let data = 24 + header_len;
+    let n = 25usize;
+    let neig0 = data + (n + 1) * 8;
+    buf[neig0..neig0 + 4].copy_from_slice(&(n as u32).to_le_bytes()); // vertex id == n
+    assert!(matches!(
+        read_graph_snapshot(buf.as_slice()),
+        Err(SnapshotError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn oracle_snapshot_rejects_the_same_lies() {
+    let g = gen::road_grid(5, 5, 3, 1.0, 4.0);
+    let oracle = Oracle::builder(g).build().unwrap();
+    let mut buf = Vec::new();
+    oracle.write_snapshot(&mut buf).unwrap();
+    let exec = oracle.executor().clone();
+
+    let mut bad = buf.clone();
+    bad[0] = b'X';
+    assert!(matches!(
+        OracleBuilder::from_snapshot_reader(bad.as_slice(), exec.clone()),
+        Err(SnapshotError::BadMagic { .. })
+    ));
+
+    let mut bad = buf.clone();
+    bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        OracleBuilder::from_snapshot_reader(bad.as_slice(), exec.clone()),
+        Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    assert!(matches!(
+        OracleBuilder::from_snapshot_reader(&buf[..buf.len() - 9], exec),
+        Err(SnapshotError::Truncated { .. })
+    ));
+}
+
+// ---- File-backed save/load and the ingestion pipeline. ---------------------
+
+#[test]
+fn file_backed_graph_roundtrip() {
+    let g = gen::gnm_connected(96, 288, 5, 1.0, 12.0);
+    let path = std::env::temp_dir().join("pram-sssp-test-graph-roundtrip.bin");
+    save_graph_snapshot(&g, &path).expect("save");
+    let g2 = load_graph_snapshot(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(g.offsets(), g2.offsets());
+    assert_eq!(g.neighbor_column(), g2.neighbor_column());
+}
+
+#[test]
+fn dimacs_to_oracle_to_snapshot_pipeline() {
+    // A 3x3 grid written the DIMACS way: every undirected edge as both
+    // directed arcs, 1-based ids.
+    let mut dimacs = String::from("c 3x3 grid\np sp 9 24\n");
+    let idx = |r: usize, c: usize| r * 3 + c + 1;
+    for r in 0..3 {
+        for c in 0..3 {
+            if c + 1 < 3 {
+                dimacs.push_str(&format!(
+                    "a {} {} 2\na {} {} 2\n",
+                    idx(r, c),
+                    idx(r, c + 1),
+                    idx(r, c + 1),
+                    idx(r, c)
+                ));
+            }
+            if r + 1 < 3 {
+                dimacs.push_str(&format!(
+                    "a {} {} 3\na {} {} 3\n",
+                    idx(r, c),
+                    idx(r + 1, c),
+                    idx(r + 1, c),
+                    idx(r, c)
+                ));
+            }
+        }
+    }
+    let g = pgraph::io::dimacs::read_dimacs(dimacs.as_bytes()).expect("parse");
+    assert_eq!(g.num_vertices(), 9);
+    assert_eq!(g.num_edges(), 12);
+
+    let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+    let path = std::env::temp_dir().join("pram-sssp-test-dimacs-oracle.bin");
+    oracle.save_snapshot(&path).expect("save");
+    let loaded = OracleBuilder::from_snapshot(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+
+    // Corner-to-corner: two rights (2+2) + two downs (3+3).
+    let d = loaded.distance(0, 8).unwrap();
+    assert!((d - 10.0).abs() <= 0.25 * 10.0 + 1e-9);
+    assert_rows_identical(&oracle, &loaded, 0);
+}
