@@ -105,6 +105,7 @@ pub fn build_hopset_on(
                 sl.start(),
                 "overlay blocks must stay aligned with global edge ids"
             );
+            let _ph = pram::phase::PhaseScope::enter("overlay-csr");
             Some(overlay.append_scale(sl.us(), sl.vs(), sl.ws(), |deg| {
                 scan::exclusive_prefix_sum(exec, deg, &mut ledger).0
             }))

@@ -128,7 +128,11 @@ pub fn build_single_scale(
         if i == p.ell {
             // ---- Final phase: no superclustering; everyone interconnects.
             let x = n_clusters; // |P_ℓ| parallel explorations (§2.1.2)
-            let m = ex.detect_neighbors(x, &mut scratch, ledger);
+            let m = {
+                let _ph = pram::phase::PhaseScope::enter("detect");
+                ex.detect_neighbors(x, &mut scratch, ledger)
+            };
+            let _ph = pram::phase::PhaseScope::enter("interconnect");
             let inter = interconnect(
                 ctx,
                 hopset,
@@ -155,17 +159,23 @@ pub fn build_single_scale(
 
         // ---- 1. Detection of popular clusters (x = deg_i + 1, d = 1).
         let x = deg_i + 1;
-        let m = ex.detect_neighbors(x, &mut scratch, ledger);
+        let m = {
+            let _ph = pram::phase::PhaseScope::enter("detect");
+            ex.detect_neighbors(x, &mut scratch, ledger)
+        };
         let popular: Vec<u32> = (0..n_clusters as u32)
             .filter(|&c| m.len_of(c as usize) >= x)
             .collect();
 
-        // ---- 2. Ruling set over the popular clusters.
+        // ---- 2 + 3. Ruling set, then superclustering BFS to depth
+        // 2·log2 n from Q_i (one "supercluster" phase for the audit).
         let mut trace = RulingTrace::default();
-        let q_set = ruling_set(&ex, &popular, &mut scratch, ledger, Some(&mut trace));
-
-        // ---- 3. Superclustering BFS to depth 2·log2 n from Q_i.
-        let det = ex.bfs(&q_set, p.supercluster_depth(), &mut scratch, ledger);
+        let (q_set, det) = {
+            let _ph = pram::phase::PhaseScope::enter("supercluster");
+            let q_set = ruling_set(&ex, &popular, &mut scratch, ledger, Some(&mut trace));
+            let det = ex.bfs(&q_set, p.supercluster_depth(), &mut scratch, ledger);
+            (q_set, det)
+        };
 
         // Lemma 2.4: every popular cluster must be detected.
         debug_assert!(
@@ -178,11 +188,16 @@ pub fn build_single_scale(
         let u_set: Vec<u32> = (0..n_clusters as u32)
             .filter(|&c| det[c as usize].is_none())
             .collect();
-        let inter = interconnect(ctx, hopset, &part, &m, &u_set, i, &mut violations);
+        let inter = {
+            let _ph = pram::phase::PhaseScope::enter("interconnect");
+            interconnect(ctx, hopset, &part, &m, &u_set, i, &mut violations)
+        };
 
         // ---- 3b. Form the superclusters: rebuilds `part` into P_{i+1}.
-        let super_edges =
-            form_superclusters(ctx, hopset, &mut part, &mut cm, &det, i, &mut violations);
+        let super_edges = {
+            let _ph = pram::phase::PhaseScope::enter("supercluster");
+            form_superclusters(ctx, hopset, &mut part, &mut cm, &det, i, &mut violations)
+        };
 
         let superclustered = n_clusters - u_set.len();
         phases.push(PhaseStats {

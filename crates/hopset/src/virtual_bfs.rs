@@ -23,9 +23,14 @@
 //! buffer + length array — see DESIGN.md §8) and the changed-flag double
 //! buffer lives beside it, both reused across pulses, ruling-set levels,
 //! and phases. The pulse inner loop allocates **nothing per vertex**: each
-//! parallel chunk reuses one candidate buffer, [`reduce_labels_in_place`]
-//! sorts it without copying, and reduced lists are written back into the
-//! arena's fixed per-vertex regions.
+//! parallel chunk reuses one candidate buffer plus one
+//! [`ReduceScratch`], the packed-key reduction sorts in place, and
+//! reduced lists are written back into the arena's fixed per-vertex
+//! regions. In path-free mode the candidate loop is **column-shaped**
+//! (three plain `src`/`dist`/`pw` columns, no per-candidate branch on the
+//! label kind) so the relaxation arithmetic autovectorizes; pulse rounds
+//! use the executor's autotuned bounds (`round_bounds_auto`), switching
+//! to fine chunks + donation when the changed-vertex frontier is skewed.
 //!
 //! Edge provenance: overlay adjacency entries carry **global** hopset edge
 //! ids directly (the scale-block CSRs of `pgraph::OverlayCsrBuilder` tag
@@ -33,7 +38,7 @@
 //! overlay-to-global side table.
 //!
 //! Determinism: every per-vertex/per-cluster reduction uses the total order
-//! of Algorithm 3 (see [`crate::label::reduce_labels_in_place`]);
+//! of Algorithm 3 (see [`crate::label::reduce_labels_in_place_scratch`]);
 //! propagation is double-buffered (reads see only the previous step — the
 //! CREW discipline of §1.5.1), so results are identical for any thread
 //! count.
@@ -46,7 +51,10 @@
 //! stretch analysis only needs recorded distances to be realizable, which
 //! fixpoint distances are. (The hop budget still caps every exploration.)
 
-use crate::label::{labels_equal, reduce_labels_in_place, Label, LabelArena};
+use crate::label::{
+    labels_equal, reduce_labels_columns, reduce_labels_in_place_scratch, Label, LabelArena,
+    ReduceScratch,
+};
 use crate::partition::{ClusterMemory, Partition};
 use crate::path::{path_extend, path_splice, path_start, MemEdge, PathHandle};
 use pgraph::{EdgeTag, UnionView, VId, Weight};
@@ -189,6 +197,126 @@ impl<'a> Explorer<'a> {
         }
     }
 
+    /// One chunk of a propagation step, **path-recording** variant: the
+    /// candidate loop materializes full [`Label`] records (each neighbor
+    /// relaxation extends a path handle) and reduces with the packed-key
+    /// sort through a per-chunk [`ReduceScratch`].
+    fn relax_chunk_paths(
+        &self,
+        r: std::ops::Range<usize>,
+        cur: &LabelArena,
+        prev_changed: &[bool],
+        x: usize,
+    ) -> (Vec<u32>, Vec<Label>) {
+        let mut lens: Vec<u32> = Vec::with_capacity(r.len());
+        let mut out: Vec<Label> = Vec::new();
+        let mut cands: Vec<Label> = Vec::new();
+        let mut scratch = ReduceScratch::new();
+        for v in r {
+            let vid = v as VId;
+            let mut any = false;
+            self.view.for_each_neighbor(vid, |u, _, _| {
+                any |= prev_changed[u as usize];
+            });
+            if !any {
+                lens.push(SKIP);
+                continue;
+            }
+            cands.clear();
+            cands.extend_from_slice(cur.labels(v));
+            self.view.for_each_neighbor(vid, |u, w, tag| {
+                for l in cur.labels(u as usize) {
+                    let nd = l.dist + w;
+                    if nd > self.threshold {
+                        continue;
+                    }
+                    cands.push(Label {
+                        src: l.src,
+                        dist: nd,
+                        pw: l.pw + w,
+                        path: Some(path_extend(
+                            l.path.as_ref().expect("path recorded"),
+                            vid,
+                            self.mem_edge(tag),
+                            w,
+                        )),
+                    });
+                }
+            });
+            reduce_labels_in_place_scratch(&mut cands, x, &mut scratch);
+            lens.push(cands.len() as u32);
+            out.append(&mut cands);
+        }
+        (lens, out)
+    }
+
+    /// One chunk of a propagation step, **path-free** fast path: the
+    /// candidate loop accumulates three plain columns (`src`, `dist`,
+    /// `pw`) — no 32-byte record writes, no per-candidate branch on the
+    /// label kind (the `record_paths` decision is hoisted to the chunk
+    /// dispatch) — and reduces them with [`reduce_labels_columns`].
+    /// Survivor lists are ≤ `x` long, so re-materializing them as arena
+    /// records afterwards is off the critical loop. Results are pinned
+    /// bit-identical to the path-recording variant's `(src, dist, pw)`
+    /// projection (`flat_fast_path_matches_path_recording` below).
+    fn relax_chunk_flat(
+        &self,
+        r: std::ops::Range<usize>,
+        cur: &LabelArena,
+        prev_changed: &[bool],
+        x: usize,
+    ) -> (Vec<u32>, Vec<Label>) {
+        let mut lens: Vec<u32> = Vec::with_capacity(r.len());
+        let mut out: Vec<Label> = Vec::new();
+        let mut srcs: Vec<VId> = Vec::new();
+        let mut dists: Vec<Weight> = Vec::new();
+        let mut pws: Vec<Weight> = Vec::new();
+        let mut scratch = ReduceScratch::new();
+        for v in r {
+            let vid = v as VId;
+            let mut any = false;
+            self.view.for_each_neighbor(vid, |u, _, _| {
+                any |= prev_changed[u as usize];
+            });
+            if !any {
+                lens.push(SKIP);
+                continue;
+            }
+            srcs.clear();
+            dists.clear();
+            pws.clear();
+            for l in cur.labels(v) {
+                srcs.push(l.src);
+                dists.push(l.dist);
+                pws.push(l.pw);
+            }
+            self.view.for_each_neighbor(vid, |u, w, _tag| {
+                for l in cur.labels(u as usize) {
+                    let nd = l.dist + w;
+                    if nd <= self.threshold {
+                        srcs.push(l.src);
+                        dists.push(nd);
+                        pws.push(l.pw + w);
+                    }
+                }
+            });
+            reduce_labels_columns(&mut srcs, &mut dists, &mut pws, x, &mut scratch);
+            lens.push(srcs.len() as u32);
+            out.extend(
+                srcs.iter()
+                    .zip(dists.iter())
+                    .zip(pws.iter())
+                    .map(|((&s, &d), &p)| Label {
+                        src: s,
+                        dist: d,
+                        pw: p,
+                        path: None,
+                    }),
+            );
+        }
+        (lens, out)
+    }
+
     /// Propagate `scratch.labels` to a fixpoint (≤ `hop_limit` steps),
     /// each step one parallel round on `self.exec`. The changed-flag
     /// double buffer lives in the scratch too. Per step, each chunk
@@ -207,59 +335,28 @@ impl<'a> Explorer<'a> {
             *c = labels.len_of(v) > 0;
         }
         for _step in 0..self.hop_limit {
-            if !changed.iter().any(|&c| c) {
+            // Autotuned bounds: later pulses typically touch a shrinking
+            // frontier (few `changed` vertices do real work), which skews
+            // per-chunk cost. The fine split hands the executor more
+            // chunks than threads so its claim counter can donate
+            // trailing chunks to early finishers; `active` is computed
+            // from the data, so the fine/coarse choice is deterministic.
+            let active = changed.iter().filter(|&&c| c).count();
+            if active == 0 {
                 break;
             }
             self.charge_step(x, ledger);
-            let bounds = self.exec.round_bounds(n);
+            let bounds = self.exec.round_bounds_auto(n, active);
             let cur = &*labels;
             let prev_changed = &*changed;
             // Recompute v iff some neighbor changed last step. One output
             // buffer pair per chunk; `SKIP` marks untouched vertices.
             let chunks: Vec<(Vec<u32>, Vec<Label>)> = self.exec.run_chunks(&bounds, |r| {
-                let mut lens: Vec<u32> = Vec::with_capacity(r.len());
-                let mut out: Vec<Label> = Vec::new();
-                let mut cands: Vec<Label> = Vec::new();
-                for v in r {
-                    let vid = v as VId;
-                    let mut any = false;
-                    self.view.for_each_neighbor(vid, |u, _, _| {
-                        any |= prev_changed[u as usize];
-                    });
-                    if !any {
-                        lens.push(SKIP);
-                        continue;
-                    }
-                    cands.clear();
-                    cands.extend_from_slice(cur.labels(v));
-                    self.view.for_each_neighbor(vid, |u, w, tag| {
-                        for l in cur.labels(u as usize) {
-                            let nd = l.dist + w;
-                            if nd > self.threshold {
-                                continue;
-                            }
-                            cands.push(Label {
-                                src: l.src,
-                                dist: nd,
-                                pw: l.pw + w,
-                                path: if self.record_paths {
-                                    Some(path_extend(
-                                        l.path.as_ref().expect("path recorded"),
-                                        vid,
-                                        self.mem_edge(tag),
-                                        w,
-                                    ))
-                                } else {
-                                    None
-                                },
-                            });
-                        }
-                    });
-                    reduce_labels_in_place(&mut cands, x);
-                    lens.push(cands.len() as u32);
-                    out.append(&mut cands);
+                if self.record_paths {
+                    self.relax_chunk_paths(r, cur, prev_changed, x)
+                } else {
+                    self.relax_chunk_flat(r, cur, prev_changed, x)
                 }
-                (lens, out)
             });
             // Apply: one pass per chunk — compare each new list against the
             // arena (the iterator's unconsumed slice), set the fixpoint
@@ -326,6 +423,7 @@ impl<'a> Explorer<'a> {
             let mut lens: Vec<u32> = Vec::with_capacity(r.len());
             let mut out: Vec<Label> = Vec::new();
             let mut cands: Vec<Label> = Vec::new();
+            let mut scratch = ReduceScratch::new();
             for ci in r {
                 let cl = &self.part.clusters[ci];
                 cands.clear();
@@ -334,7 +432,7 @@ impl<'a> Explorer<'a> {
                         cands.push(self.lift_to_cluster(v, l));
                     }
                 }
-                reduce_labels_in_place(&mut cands, x);
+                reduce_labels_in_place_scratch(&mut cands, x, &mut scratch);
                 lens.push(cands.len() as u32);
                 out.append(&mut cands);
             }
@@ -673,6 +771,41 @@ mod tests {
             .find(|l| l.src == 4)
             .expect("cluster neighbor");
         assert_eq!(rec.dist, 2.0);
+    }
+
+    #[test]
+    fn flat_fast_path_matches_path_recording() {
+        // The column-shaped fast path (record_paths = false) and the
+        // path-recording loop are separate implementations of the same
+        // pulse; their (src, dist, pw) projections must be bit-identical
+        // on every vertex. This pins the SIMD-shaped rewrite to the
+        // reference semantics end to end, not just per reduction call.
+        let g = gen::gnm_connected(80, 220, 13, 1.0, 4.0);
+        let view = UnionView::base_only(&g);
+        let part = Partition::singletons(g.num_vertices());
+        let run = |record_paths: bool| {
+            let cm = ClusterMemory::trivial(g.num_vertices(), record_paths);
+            let exec = Executor::shared(2);
+            let ex = Explorer {
+                exec: &exec,
+                view: &view,
+                part: &part,
+                cm: &cm,
+                threshold: 5.0,
+                hop_limit: 12,
+                record_paths,
+            };
+            let mut led = Ledger::new();
+            let mut scratch = ExploreScratch::new();
+            ex.detect_neighbors(6, &mut scratch, &mut led)
+        };
+        let flat = run(false);
+        let with_paths = run(true);
+        for (v, (a, b)) in flat.iter_lists().zip(with_paths.iter_lists()).enumerate() {
+            assert!(labels_equal(a, b), "vertex {v} diverged");
+            assert!(a.iter().all(|l| l.path.is_none()));
+            assert!(b.iter().all(|l| l.path.is_some()));
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! neighbor id, which makes `edge_weight` a binary search and makes all
 //! iteration deterministic.
 
-use crate::{VId, Weight};
+use crate::{edge_index, edge_index_usize, EdgeIndex, VId, Weight};
 use std::fmt;
 
 /// An immutable undirected weighted graph in CSR form.
@@ -21,7 +21,8 @@ use std::fmt;
 pub struct Graph {
     n: usize,
     /// `offsets[v]..offsets[v+1]` indexes `neigh`/`wt` for vertex `v`.
-    offsets: Vec<usize>,
+    /// [`EdgeIndex`]-typed: `u32` under `compact-ids`, `usize` otherwise.
+    offsets: Vec<EdgeIndex>,
     neigh: Vec<VId>,
     wt: Vec<Weight>,
     /// Canonical edge list with `u < v`, sorted lexicographically.
@@ -54,14 +55,14 @@ impl Graph {
     #[inline]
     pub fn degree(&self, v: VId) -> usize {
         let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        edge_index_usize(self.offsets[v + 1]) - edge_index_usize(self.offsets[v])
     }
 
     /// Iterate over `(neighbor, weight)` pairs of `v`, sorted by neighbor id.
     #[inline]
     pub fn neighbors(&self, v: VId) -> impl Iterator<Item = (VId, Weight)> + '_ {
         let v = v as usize;
-        let r = self.offsets[v]..self.offsets[v + 1];
+        let r = edge_index_usize(self.offsets[v])..edge_index_usize(self.offsets[v + 1]);
         self.neigh[r.clone()]
             .iter()
             .copied()
@@ -77,11 +78,10 @@ impl Graph {
     /// Weight of edge `(u, v)` if present.
     pub fn edge_weight(&self, u: VId, v: VId) -> Option<Weight> {
         let ui = u as usize;
-        let slice = &self.neigh[self.offsets[ui]..self.offsets[ui + 1]];
-        slice
-            .binary_search(&v)
-            .ok()
-            .map(|i| self.wt[self.offsets[ui] + i])
+        let lo = edge_index_usize(self.offsets[ui]);
+        let hi = edge_index_usize(self.offsets[ui + 1]);
+        let slice = &self.neigh[lo..hi];
+        slice.binary_search(&v).ok().map(|i| self.wt[lo + i])
     }
 
     /// True if the graph contains edge `(u, v)`.
@@ -163,9 +163,10 @@ impl Graph {
 
     /// The raw CSR offsets column (`n + 1` entries; `offsets[v]..offsets[v+1]`
     /// indexes the adjacency columns of vertex `v`). Exposed for the snapshot
-    /// layer, which streams columns verbatim.
+    /// layer, which streams columns verbatim. Element type is [`EdgeIndex`]
+    /// (`u32` under the `compact-ids` feature).
     #[inline]
-    pub fn offsets(&self) -> &[usize] {
+    pub fn offsets(&self) -> &[EdgeIndex] {
         &self.offsets
     }
 
@@ -186,7 +187,7 @@ impl Graph {
     /// debug assertions here only spot-check shape.
     pub(crate) fn from_raw_parts(
         n: usize,
-        offsets: Vec<usize>,
+        offsets: Vec<EdgeIndex>,
         neigh: Vec<VId>,
         wt: Vec<Weight>,
         edges: Vec<(VId, VId, Weight)>,
@@ -343,6 +344,11 @@ impl GraphBuilder {
             .dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
 
         let m = self.edges.len();
+        assert!(
+            (2 * m) as u64 <= EdgeIndex::MAX as u64,
+            "graph has {m} edges; 2m overflows this build's EdgeIndex width \
+             (build without the `compact-ids` feature)"
+        );
         let mut deg = vec![0usize; n + 1];
         for &(u, v, _) in &self.edges {
             deg[u as usize + 1] += 1;
@@ -379,6 +385,9 @@ impl GraphBuilder {
                 wt[offsets[v] + i] = w;
             }
         }
+        // Prefix sums and cursors run in `usize`; narrow once, at the end
+        // (the assert above guarantees every offset fits).
+        let offsets: Vec<EdgeIndex> = offsets.iter().map(|&o| edge_index(o)).collect();
         Ok(Graph {
             n,
             offsets,

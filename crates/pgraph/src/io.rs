@@ -14,6 +14,7 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 pub mod dimacs;
+pub mod edge_list;
 
 /// Errors raised while parsing the text format.
 #[derive(Debug)]

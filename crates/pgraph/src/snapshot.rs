@@ -11,7 +11,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic            (per container type, e.g. "PSSGRAPH")
-//! 8       4     format version   (u32, currently 1)
+//! 8       4     format version   (u32, currently 2)
 //! 12      4     header length    (u32, bytes of the header block)
 //! 16      8     header checksum  (FNV-1a 64 over the header block)
 //! 24      H     header block:
@@ -35,7 +35,7 @@
 //! `hopset::snapshot` and `sssp::snapshot` build on it.
 
 use crate::csr::Graph;
-use crate::{VId, Weight};
+use crate::{EdgeIndex, VId, Weight};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -43,12 +43,24 @@ use std::path::Path;
 /// Snapshot container format version written by this build.
 ///
 /// Version policy: the loader accepts exactly the versions it knows how to
-/// decode (currently only 1) and fails with
+/// decode ([`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]) and fails with
 /// [`SnapshotError::UnsupportedVersion`] otherwise — snapshots are
 /// artifacts shipped between builds, so "guess and hope" is never correct.
 /// Additive evolution (new trailing params fields, new sections) bumps the
 /// version; old loaders reject new files rather than misread them.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — original layout (PR 8). Graph offsets stored as `u64`.
+/// * 2 — compact data plane (DESIGN.md §12). Graph params grow trailing
+///   `id_width`/`offset_width`/`weight_width` bytes and the offsets column
+///   is stored at `offset_width` (u32 when `2m ≤ u32::MAX`); the hopset
+///   container grows `weight_width` (+ a quantization scale when weights
+///   are stored as u32). Widths are properties of the *data*, not of the
+///   writing build, so files are byte-identical across feature flags.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest container version this build still decodes.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Magic of the [`Graph`] container.
 pub const GRAPH_MAGIC: [u8; 8] = *b"PSSGRAPH";
@@ -351,6 +363,20 @@ impl<'w, W: Write> ContainerWriter<'w, W> {
         params: &[u8],
         sections: Vec<SectionDecl>,
     ) -> Result<Self, SnapshotError> {
+        Self::begin_with_version(out, magic, FORMAT_VERSION, params, sections)
+    }
+
+    /// [`ContainerWriter::begin`] with an explicit format version. The
+    /// header is checksummed, so compatibility tests cannot fabricate an
+    /// old-version file by patching bytes — they write a genuine one here.
+    #[doc(hidden)]
+    pub fn begin_with_version(
+        out: &'w mut W,
+        magic: &[u8; 8],
+        version: u32,
+        params: &[u8],
+        sections: Vec<SectionDecl>,
+    ) -> Result<Self, SnapshotError> {
         let mut header = Vec::with_capacity(header_len(params.len(), &sections) as usize);
         header.extend_from_slice(&(params.len() as u32).to_le_bytes());
         header.extend_from_slice(params);
@@ -364,7 +390,7 @@ impl<'w, W: Write> ContainerWriter<'w, W> {
             offset += s.byte_len();
         }
         out.write_all(magic)?;
-        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&version.to_le_bytes())?;
         out.write_all(&(header.len() as u32).to_le_bytes())?;
         out.write_all(&fnv1a64(&header).to_le_bytes())?;
         out.write_all(&header)?;
@@ -411,6 +437,33 @@ impl<'w, W: Write> ContainerWriter<'w, W> {
 
     /// Write a `usize` column as `u64` elements.
     pub fn col_usize_as_u64(&mut self, tag: [u8; 4], col: &[usize]) -> Result<(), SnapshotError> {
+        let out = self.expect(tag, 8, col.len() as u64);
+        write_col(out, col, |v| (v as u64).to_le_bytes())
+    }
+
+    /// Write an [`EdgeIndex`] column as `u32` elements. The caller must
+    /// have verified every value fits (the graph writer picks this width
+    /// from `2m`, never from the build's `EdgeIndex` type).
+    #[allow(clippy::unnecessary_cast)] // identity casts under compact-ids
+    pub fn col_index_as_u32(
+        &mut self,
+        tag: [u8; 4],
+        col: &[EdgeIndex],
+    ) -> Result<(), SnapshotError> {
+        let out = self.expect(tag, 4, col.len() as u64);
+        write_col(out, col, |v| {
+            debug_assert!(v as u64 <= u32::MAX as u64);
+            (v as u64 as u32).to_le_bytes()
+        })
+    }
+
+    /// Write an [`EdgeIndex`] column as `u64` elements.
+    #[allow(clippy::unnecessary_cast)] // identity casts under the usize width
+    pub fn col_index_as_u64(
+        &mut self,
+        tag: [u8; 4],
+        col: &[EdgeIndex],
+    ) -> Result<(), SnapshotError> {
         let out = self.expect(tag, 8, col.len() as u64);
         write_col(out, col, |v| (v as u64).to_le_bytes())
     }
@@ -502,6 +555,7 @@ where
 /// checksum on open, then hands back the declared sections in order.
 pub struct ContainerReader<R: Read> {
     inner: R,
+    version: u32,
     params: Vec<u8>,
     sections: Vec<SectionDecl>,
     next: usize,
@@ -525,7 +579,7 @@ impl<R: Read> ContainerReader<R> {
             .read_exact(&mut word)
             .map_err(|e| map_eof(e, "version"))?;
         let version = u32::from_le_bytes(word);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -593,10 +647,18 @@ impl<R: Read> ContainerReader<R> {
         }
         Ok(ContainerReader {
             inner,
+            version,
             params,
             sections,
             next: 0,
         })
+    }
+
+    /// The format version recorded in the file (within
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]). Container decoders
+    /// branch on this to pick the params layout and column widths.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The raw params block.
@@ -659,6 +721,17 @@ impl<R: Read> ContainerReader<R> {
         read_col(&mut self.inner, decl.count, &tag_str(tag), |b: [u8; 8]| {
             f64::from_bits(u64::from_le_bytes(b))
         })
+    }
+
+    /// Read a `u64` column.
+    pub fn col_u64(&mut self, tag: [u8; 4]) -> Result<Vec<u64>, SnapshotError> {
+        let decl = self.expect(tag, 8)?;
+        read_col(
+            &mut self.inner,
+            decl.count,
+            &tag_str(tag),
+            u64::from_le_bytes,
+        )
     }
 
     /// Read a `u64` column into `usize` elements (fails on 32-bit overflow).
@@ -735,13 +808,26 @@ where
 // Graph container
 // ---------------------------------------------------------------------------
 
-const GRAPH_PARAMS_BYTES: usize = 16; // n u64 + m u64
+// v1 was n u64 + m u64 (16 bytes); v2 appends id_width u8 +
+// offset_width u8 + weight_width u8 (DESIGN.md §12).
+const GRAPH_PARAMS_BYTES: usize = 19;
+
+/// Stored width of the offsets column: a property of the *data* (`2m`),
+/// never of the writing build — so default and `compact-ids` builds emit
+/// byte-identical snapshots.
+fn graph_offset_width(m: usize) -> u32 {
+    if (2 * m) as u64 <= u32::MAX as u64 {
+        4
+    } else {
+        8
+    }
+}
 
 fn graph_sections(n: usize, m: usize) -> Vec<SectionDecl> {
     vec![
         SectionDecl {
             tag: *b"offs",
-            elem_size: 8,
+            elem_size: graph_offset_width(m),
             count: (n + 1) as u64,
         },
         SectionDecl {
@@ -765,19 +851,26 @@ pub fn graph_snapshot_size(g: &Graph) -> u64 {
     )
 }
 
-/// Write `g` as a binary snapshot: the CSR columns streamed verbatim.
+/// Write `g` as a binary snapshot: the CSR columns streamed verbatim
+/// (offsets at the narrowest width `2m` admits).
 pub fn write_graph_snapshot(g: &Graph, mut w: impl Write) -> Result<(), SnapshotError> {
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    let offw = graph_offset_width(m);
     let mut params = ParamsBuf::new();
-    params
-        .u64(g.num_vertices() as u64)
-        .u64(g.num_edges() as u64);
+    params.u64(n as u64).u64(m as u64);
+    // id_width (VId is always u32), offset_width, weight_width (f64).
+    params.u8(4).u8(offw as u8).u8(8);
     let mut cw = ContainerWriter::begin(
         &mut w,
         &GRAPH_MAGIC,
         params.as_slice(),
-        graph_sections(g.num_vertices(), g.num_edges()),
+        graph_sections(n, m),
     )?;
-    cw.col_usize_as_u64(*b"offs", g.offsets())?;
+    if offw == 4 {
+        cw.col_index_as_u32(*b"offs", g.offsets())?;
+    } else {
+        cw.col_index_as_u64(*b"offs", g.offsets())?;
+    }
     cw.col_u32(*b"neig", g.neighbor_column())?;
     cw.col_f64(*b"wgts", g.weight_column())?;
     cw.finish()
@@ -796,6 +889,7 @@ pub fn save_graph_snapshot(g: &Graph, path: impl AsRef<Path>) -> Result<(), Snap
 /// the loaded graph is bit-identical to the saved one).
 pub fn read_graph_snapshot(r: impl Read) -> Result<Graph, SnapshotError> {
     let mut cr = ContainerReader::open(r, &GRAPH_MAGIC)?;
+    let version = cr.version();
     let mut p = ParamsReader::new(cr.params());
     let n64 = p.u64()?;
     let m64 = p.u64()?;
@@ -805,11 +899,53 @@ pub fn read_graph_snapshot(r: impl Read) -> Result<Graph, SnapshotError> {
     let n = n64 as usize;
     let m = usize::try_from(m64).map_err(|_| corrupt("edge count overflows usize"))?;
 
-    let offsets = cr.col_u64_as_usize(*b"offs")?;
+    // v1 stored offsets as u64 with no width fields; v2 records the widths.
+    let offw = if version >= 2 {
+        let idw = p.u8()?;
+        let offw = p.u8()?;
+        let ww = p.u8()?;
+        if idw != 4 {
+            return Err(corrupt(format!(
+                "graph id width {idw} (only u32 ids exist)"
+            )));
+        }
+        if ww != 8 {
+            return Err(corrupt(format!(
+                "graph weight width {ww} (weights are f64)"
+            )));
+        }
+        if offw != 4 && offw != 8 {
+            return Err(corrupt(format!(
+                "graph offset width {offw} (expected 4 or 8)"
+            )));
+        }
+        u32::from(offw)
+    } else {
+        8
+    };
+    let offsets: Vec<EdgeIndex> = if offw == 4 {
+        cr.col_u32(*b"offs")?
+            .into_iter()
+            .map(|v| u64_to_edge_index(v as u64))
+            .collect::<Result<_, _>>()?
+    } else {
+        cr.col_u64(*b"offs")?
+            .into_iter()
+            .map(u64_to_edge_index)
+            .collect::<Result<_, _>>()?
+    };
     let neigh = cr.col_u32(*b"neig")?;
     let wt = cr.col_f64(*b"wgts")?;
     validate_graph_columns(n, m, &offsets, &neigh, &wt)
         .map(|edges| Graph::from_raw_parts(n, offsets, neigh, wt, edges))
+}
+
+/// Narrow a stored offset to this build's [`EdgeIndex`]. Only reachable
+/// under `compact-ids` loading a wide (v1 or `offset_width == 8`) file
+/// whose offsets genuinely exceed u32 — a graph that build cannot hold.
+fn u64_to_edge_index(v: u64) -> Result<EdgeIndex, SnapshotError> {
+    EdgeIndex::try_from(v)
+        .map_err(|_| corrupt(format!("offset {v} overflows this build's EdgeIndex width")))
 }
 
 /// Load a graph snapshot from a file path.
@@ -822,10 +958,11 @@ pub fn load_graph_snapshot(path: impl AsRef<Path>) -> Result<Graph, SnapshotErro
 fn validate_graph_columns(
     n: usize,
     m: usize,
-    offsets: &[usize],
+    offsets: &[EdgeIndex],
     neigh: &[VId],
     wt: &[Weight],
 ) -> Result<Vec<(VId, VId, Weight)>, SnapshotError> {
+    let ix = crate::edge_index_usize;
     if offsets.len() != n + 1 {
         return Err(corrupt(format!(
             "offsets column has {} entries for n = {n}",
@@ -839,12 +976,12 @@ fn validate_graph_columns(
             wt.len()
         )));
     }
-    if offsets[0] != 0 || offsets[n] != 2 * m {
+    if ix(offsets[0]) != 0 || ix(offsets[n]) != 2 * m {
         return Err(corrupt("offsets must run from 0 to 2m"));
     }
     let mut edges = Vec::with_capacity(m);
     for u in 0..n {
-        let (lo, hi) = (offsets[u], offsets[u + 1]);
+        let (lo, hi) = (ix(offsets[u]), ix(offsets[u + 1]));
         if lo > hi || hi > 2 * m {
             return Err(corrupt(format!("offsets not monotone at vertex {u}")));
         }
@@ -881,7 +1018,7 @@ fn validate_graph_columns(
     // Symmetry: every canonical edge must appear with the same weight bits
     // in the mirror adjacency list.
     for &(u, v, w) in &edges {
-        let (lo, hi) = (offsets[v as usize], offsets[v as usize + 1]);
+        let (lo, hi) = (ix(offsets[v as usize]), ix(offsets[v as usize + 1]));
         match neigh[lo..hi].binary_search(&u) {
             Ok(i) if wt[lo + i].to_bits() == w.to_bits() => {}
             _ => {
@@ -994,15 +1131,87 @@ mod tests {
         let mut buf = Vec::new();
         write_graph_snapshot(&g, &mut buf).unwrap();
         // Find the data start (prelude + header) and patch the first
-        // neighbor id (section order: offs (5×u64), then neig).
+        // neighbor id (section order: offs (5×u32 — path(4) fits the
+        // narrow width), then neig).
         let hlen = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
         let data = 24 + hlen;
-        let neig0 = data + 5 * 8;
+        let neig0 = data + 5 * 4;
         buf[neig0..neig0 + 4].copy_from_slice(&250u32.to_le_bytes());
         assert!(matches!(
             read_graph_snapshot(buf.as_slice()),
             Err(SnapshotError::Corrupt { .. })
         ));
+    }
+
+    /// Emit a genuine version-1 graph snapshot (u64 offsets, 16-byte
+    /// params) — the layout PR 8 shipped.
+    fn write_graph_snapshot_v1(g: &Graph, w: &mut Vec<u8>) {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let mut params = ParamsBuf::new();
+        params.u64(n as u64).u64(m as u64);
+        let sections = vec![
+            SectionDecl {
+                tag: *b"offs",
+                elem_size: 8,
+                count: (n + 1) as u64,
+            },
+            SectionDecl {
+                tag: *b"neig",
+                elem_size: 4,
+                count: (2 * m) as u64,
+            },
+            SectionDecl {
+                tag: *b"wgts",
+                elem_size: 8,
+                count: (2 * m) as u64,
+            },
+        ];
+        let mut cw =
+            ContainerWriter::begin_with_version(w, &GRAPH_MAGIC, 1, params.as_slice(), sections)
+                .unwrap();
+        cw.col_index_as_u64(*b"offs", g.offsets()).unwrap();
+        cw.col_u32(*b"neig", g.neighbor_column()).unwrap();
+        cw.col_f64(*b"wgts", g.weight_column()).unwrap();
+        cw.finish().unwrap();
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        let g = gen::gnm(30, 70, 11, 1.0, 5.0);
+        let mut buf = Vec::new();
+        write_graph_snapshot_v1(&g, &mut buf);
+        let h = read_graph_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(g.offsets(), h.offsets());
+        assert_eq!(g.neighbor_column(), h.neighbor_column());
+        for (a, b) in g.weight_column().iter().zip(h.weight_column()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn v2_stores_narrow_offsets_when_they_fit() {
+        // The width written is a function of 2m, not of the build's
+        // EdgeIndex — both feature legs must produce this exact file.
+        let g = gen::gnm(30, 70, 11, 1.0, 5.0);
+        let mut buf = Vec::new();
+        write_graph_snapshot(&g, &mut buf).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        let cr = ContainerReader::open(buf.as_slice(), &GRAPH_MAGIC).unwrap();
+        assert_eq!(cr.version(), 2);
+        assert_eq!(cr.params().len(), GRAPH_PARAMS_BYTES);
+        assert_eq!(cr.sections()[0].elem_size, 4, "offs stored as u32");
+        // And the widths recorded in params match.
+        let mut p = ParamsReader::new(cr.params());
+        let _ = p.u64().unwrap();
+        let _ = p.u64().unwrap();
+        assert_eq!(
+            (p.u8().unwrap(), p.u8().unwrap(), p.u8().unwrap()),
+            (4, 4, 8)
+        );
     }
 
     #[test]
@@ -1013,7 +1222,8 @@ mod tests {
         let hlen = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
         let data = 24 + hlen;
         // Patch the first weight only (its mirror entry keeps the old bits).
-        let wgts0 = data + 5 * 8 + 6 * 4;
+        // offs is 5×u32 (see above), neig 6×u32.
+        let wgts0 = data + 5 * 4 + 6 * 4;
         buf[wgts0..wgts0 + 8].copy_from_slice(&2.5f64.to_bits().to_le_bytes());
         assert!(matches!(
             read_graph_snapshot(buf.as_slice()),

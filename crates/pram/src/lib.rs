@@ -39,12 +39,15 @@
 //! * [`cc`] — Shiloach–Vishkin connected components + spanning forests
 //!   (needed by the Klein–Sairam reduction, Appendix C),
 //! * [`bford`] — multi-source hop-limited Bellman–Ford over union views
-//!   (the final exploration of Theorems 3.8/C.3).
+//!   (the final exploration of Theorems 3.8/C.3),
+//! * [`phase`] — construction-phase markers observed by the memory-audit
+//!   hook in the experiment harness.
 
 pub mod bford;
 pub mod cc;
 pub mod jump;
 pub mod ledger;
+pub mod phase;
 pub mod pool;
 pub mod prim;
 pub mod scan;

@@ -537,6 +537,7 @@ impl OracleBuilder {
         // store's flat columns — no `(u, v, w)` triple list is ever
         // materialized; distances_from / distances_multi / spt all reuse it.
         let union = {
+            let _ph = pram::phase::PhaseScope::enter("oracle-assembly");
             let h = match &backend {
                 OracleBackend::Plain(b) => &b.hopset,
                 OracleBackend::Reduced(r) => &r.hopset,

@@ -5,15 +5,35 @@
 //! cargo run --release -p xbench --bin repro -- e2-stretch     # one table
 //! cargo run --release -p xbench --bin repro -- all --quick    # small sizes
 //! cargo run --release -p xbench --bin repro -- list           # registry
+//! cargo run --release -p xbench --bin repro -- memory --json BENCH_memory.json
 //! ```
 
 use xbench::{registry, Config};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let cfg = Config { quick };
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut quick = false;
+    let mut json: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => match it.next() {
+                Some(p) => json = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}; try `repro list`");
+                std::process::exit(2);
+            }
+            _ => wanted.push(a),
+        }
+    }
+    let cfg = Config { quick, json };
 
     let reg = registry();
     if wanted.is_empty() || wanted[0] == "list" {
@@ -21,7 +41,7 @@ fn main() {
         for (id, desc, _) in &reg {
             println!("  {id:<14} {desc}");
         }
-        println!("\nusage: repro <id>|all [--quick]");
+        println!("\nusage: repro <id>|all [--quick] [--json <path>]");
         return;
     }
 

@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn ablations_run_quick() {
-        let cfg = Config { quick: true };
+        let cfg = Config {
+            quick: true,
+            ..Default::default()
+        };
         a1_delta(&cfg);
         a2_mode(&cfg);
     }

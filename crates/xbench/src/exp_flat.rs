@@ -23,6 +23,7 @@
 //! EXPERIMENTS.md.
 
 use crate::alloc::alloc_count;
+use crate::json::{self, Record};
 use crate::table::Table;
 use crate::Config;
 use hopset::{
@@ -448,6 +449,32 @@ pub fn flat_store(cfg: &Config) {
          (n = {pn}, m = {}, x = 4, 6 hops; identical labels asserted)",
         g.num_edges()
     ));
+
+    json::emit(
+        cfg,
+        &[
+            Record::new("flat-store")
+                .str("side", "store-aos")
+                .u64("n", n as u64)
+                .f64("ms", aos.ns as f64 / 1e6)
+                .u64("allocs", aos.allocs),
+            Record::new("flat-store")
+                .str("side", "store-soa")
+                .u64("n", n as u64)
+                .f64("ms", soa.ns as f64 / 1e6)
+                .u64("allocs", soa.allocs),
+            Record::new("flat-store")
+                .str("side", "pulse-vecvec")
+                .u64("n", pn as u64)
+                .f64("ms", old.ns as f64 / 1e6)
+                .u64("allocs", old.allocs),
+            Record::new("flat-store")
+                .str("side", "pulse-arena")
+                .u64("n", pn as u64)
+                .f64("ms", new.ns as f64 / 1e6)
+                .u64("allocs", new.allocs),
+        ],
+    );
 }
 
 #[cfg(test)]

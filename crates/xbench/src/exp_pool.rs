@@ -125,6 +125,18 @@ pub fn pool_overhead(cfg: &Config) {
         "pool-overhead: per-round dispatch latency, scoped spawn vs persistent pool \
          (len = {len}, {rounds} rounds; wall-clock, not a PRAM claim)"
     ));
+    let records: Vec<crate::json::Record> = rows
+        .iter()
+        .map(|r| {
+            crate::json::Record::new("pool-overhead")
+                .u64("n", len as u64)
+                .u64("threads", r.threads as u64)
+                .u64("chunks", r.chunks as u64)
+                .f64("scoped_ns", r.scoped_ns)
+                .f64("persistent_ns", r.persistent_ns)
+        })
+        .collect();
+    crate::json::emit(cfg, &records);
 }
 
 #[cfg(test)]

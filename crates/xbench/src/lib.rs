@@ -16,17 +16,21 @@ pub mod exp_core;
 pub mod exp_end;
 pub mod exp_flat;
 pub mod exp_lint;
+pub mod exp_memory;
 pub mod exp_pool;
 pub mod exp_quality;
 pub mod exp_serve;
 pub mod exp_snapshot;
+pub mod json;
 pub mod table;
 
 /// Global experiment configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Config {
     /// Shrink sizes for fast smoke runs.
     pub quick: bool,
+    /// Append machine-readable JSON-lines records here (`--json <path>`).
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl Config {
@@ -148,6 +152,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             exp_snapshot::snapshot,
         ),
         (
+            "memory",
+            "construction at scale: per-phase heap audit + peak RSS (DESIGN.md §12)",
+            exp_memory::memory,
+        ),
+        (
             "lint",
             "gate: xlint determinism-contract static analysis (DESIGN.md §10)",
             exp_lint::lint,
@@ -166,15 +175,18 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert_eq!(reg.len(), 22);
+        assert_eq!(reg.len(), 23);
     }
 
     #[test]
     fn quick_mode_shrinks() {
-        let c = Config { quick: true };
+        let c = Config {
+            quick: true,
+            ..Default::default()
+        };
         assert_eq!(c.sz(1024), 256);
         assert_eq!(c.sz(64), 32);
-        let f = Config { quick: false };
+        let f = Config::default();
         assert_eq!(f.sz(1024), 1024);
     }
 }

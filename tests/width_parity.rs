@@ -1,0 +1,119 @@
+//! Id-width parity suite — the `compact-ids` contract (DESIGN.md §12).
+//!
+//! The `compact-ids` feature narrows `pgraph::EdgeIndex` (CSR edge
+//! offsets) from `usize` to `u32`. The contract is that the width is a
+//! *storage* choice with zero observable effect: every constructed
+//! adjacency structure, every snapshot byte, and every oracle output is
+//! identical under both builds. CI runs this file twice — default and
+//! `--features compact-ids` — and the golden fingerprints below must
+//! match from both legs. A fingerprint drift on exactly one leg is a
+//! width bug; a drift on both legs means construction itself changed
+//! (re-record the goldens only in that case, with the tier-1 determinism
+//! suite green).
+
+use pram_sssp::prelude::*;
+
+/// FNV-1a over a u64 stream — order-sensitive, width-independent.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn push(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn push_bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// The 64k construction both legs must agree on: n = 65 536, m = 2n.
+fn graph_64k() -> Graph {
+    gen::gnm_connected(65_536, 131_072, 41, 1.0, 8.0)
+}
+
+/// CSR columns of the 64k graph — offsets widened to u64 so the
+/// fingerprint stream is identical whatever `EdgeIndex` is.
+#[test]
+fn csr_fingerprint_is_width_independent() {
+    let g = graph_64k();
+    let mut f = Fnv::new();
+    f.push(g.num_vertices() as u64);
+    f.push(g.num_edges() as u64);
+    for &o in g.offsets() {
+        f.push(pgraph::edge_index_usize(o) as u64);
+    }
+    for v in 0..g.num_vertices() as u32 {
+        for (u, w) in g.neighbors(v) {
+            f.push(u as u64);
+            f.push(w.to_bits());
+        }
+    }
+    assert_eq!(
+        f.0, 0xf382_b486_a203_8ef8,
+        "64k CSR fingerprint drifted (got {:#x})",
+        f.0
+    );
+}
+
+/// Snapshot bytes are a property of the data, not the build: the v2
+/// header stores the offset width that *fits* (4 here, since 2m < 2³²),
+/// so the file is byte-identical across feature legs.
+#[test]
+fn snapshot_bytes_are_width_independent() {
+    let g = graph_64k();
+    let mut buf = Vec::new();
+    pgraph::snapshot::write_graph_snapshot(&g, &mut buf).expect("write");
+    let mut f = Fnv::new();
+    f.push(buf.len() as u64);
+    f.push_bytes(&buf);
+    assert_eq!(
+        f.0, 0x5006_55ae_72d9_041e,
+        "64k snapshot byte fingerprint drifted (got {:#x})",
+        f.0
+    );
+    // And it loads back to the same adjacency on this leg.
+    let h = pgraph::snapshot::read_graph_snapshot(buf.as_slice()).expect("read");
+    assert_eq!(h.num_edges(), g.num_edges());
+    assert_eq!(h.edges(), g.edges());
+}
+
+/// End-to-end: a full oracle build plus queries on a subsampled size
+/// (debug-profile friendly), fingerprinting hopset columns and distances.
+#[test]
+fn oracle_outputs_are_width_independent() {
+    let g = gen::gnm_connected(2_048, 4_096, 7, 1.0, 8.0);
+    let oracle = Oracle::builder(g)
+        .eps(0.5)
+        .kappa(8)
+        .build()
+        .expect("params");
+    let mut f = Fnv::new();
+    f.push(oracle.hopset_size() as u64);
+    let built = oracle.built().expect("constructed oracle keeps its hopset");
+    for e in built.hopset.iter() {
+        f.push(e.u as u64);
+        f.push(e.v as u64);
+        f.push(e.w.to_bits());
+        f.push(e.scale as u64);
+    }
+    let sources = [0u32, 512, 1_024, 2_047];
+    let multi = oracle.distances_multi(&sources).expect("in range");
+    for i in 0..sources.len() {
+        for &d in multi.dist.row(i) {
+            f.push(d.to_bits());
+        }
+    }
+    assert_eq!(
+        f.0, 0x94d0_feee_560d_787b,
+        "oracle output fingerprint drifted (got {:#x})",
+        f.0
+    );
+}
