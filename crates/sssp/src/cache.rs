@@ -1,5 +1,5 @@
 //! The serving-layer source cache: a bounded, deterministic LRU over
-//! distance rows.
+//! distance rows, with an optional landmark plane and admission control.
 //!
 //! "Build once, answer many" only pays off if *answering* is cheap, and
 //! real query traffic is skewed: a handful of hot sources receive most of
@@ -9,15 +9,34 @@
 //! exploration at all — while misses delegate to the wrapped backend and
 //! fill the cache.
 //!
+//! Three serving policies layer on top (configured via [`CacheConfig`]):
+//!
+//! * **fill policy** ([`FillPolicy`]) — what a point-to-point *miss*
+//!   does: nothing (the PR 6 default), consult the landmark plane
+//!   ([`crate::LandmarkPlane`]) for an `O(L)` bounded-stretch answer, or
+//!   additionally promote a source's full row after `k` fallback
+//!   explorations;
+//! * **admission control** ([`CacheConfig::admission`]) — a bounded
+//!   in-flight-exploration gate: a miss storm cannot pile unbounded
+//!   explorations onto the executor; excess requests queue or are
+//!   rejected with the typed [`SsspError::Overloaded`];
+//! * **landmark answers** — the one deliberate exception to the
+//!   bit-identity rule of DESIGN.md §9: a certified landmark answer is a
+//!   documented `(1+δ)`-approximation of the exact distance instead of
+//!   the backend's number, in exchange for skipping the exploration
+//!   entirely.
+//!
 //! Determinism is part of the contract (DESIGN.md §9):
 //!
 //! * **answers** — a cached row is the backend's row, stored verbatim
 //!   (including its query [`Ledger`]); hits are bit-identical to cold
-//!   queries because nothing is recomputed;
-//! * **eviction** — strict LRU over a bounded table. The hit/miss/evict
-//!   trace is a pure function of the request sequence and the capacity;
-//!   concurrency changes only the interleaving of requests, never the
-//!   answer any request receives.
+//!   queries because nothing is recomputed; landmark answers are pure
+//!   functions of (graph, backend config, landmark config);
+//! * **eviction / counters** — strict LRU over a bounded table. The
+//!   hit/miss/evict trace — and the landmark/fallback/promotion/rejection
+//!   counters — are pure functions of the (serialized) request sequence
+//!   and the configuration; concurrency changes only the interleaving of
+//!   requests, never the answer any request receives.
 //!
 //! ```
 //! use pgraph::gen;
@@ -32,10 +51,11 @@
 //! assert_eq!(served.stats().hits, 1);
 //! ```
 
+use crate::landmark::{LandmarkConfig, LandmarkPlane};
 use crate::oracle::{check_source, DistanceOracle, MultiSourceResult, SsspError};
 use pgraph::{VId, Weight};
 use pram::Ledger;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One cached source row: the backend's distances **and** its query
 /// ledger, stored verbatim so a hit reproduces the cold answer exactly
@@ -61,16 +81,140 @@ impl CachedRow {
     }
 }
 
+/// What a point-to-point miss (no resident row for the source) is
+/// allowed to do. The PR 6 behavior — delegate to the backend's
+/// early-exit exploration, never fill — is the default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Delegate every p2p miss to the backend's early-exit exploration;
+    /// never consult the landmark plane, never fill the row cache (a
+    /// single pair does not justify a full-row exploration).
+    #[default]
+    NeverFill,
+    /// Consult the landmark plane first ([`LandmarkPlane::certify`]);
+    /// certified pairs answer in `O(L)` with documented `(1+δ)` stretch,
+    /// the rest fall through to the backend. Never fills the row cache.
+    /// Requires a landmark plane in the [`CacheConfig`].
+    LandmarkOnly,
+    /// [`FillPolicy::LandmarkOnly`] when a plane is configured, plus row
+    /// promotion: after `k ≥ 1` fallback explorations for the same
+    /// source, the next fallback computes and caches the source's full
+    /// row instead (subsequent p2p queries on it become cache hits).
+    PromoteAfterMisses(u32),
+}
+
+/// The admission gate's sizing and overflow behavior
+/// ([`CacheConfig::admission`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum backend explorations in flight at once (`≥ 1`). Cache
+    /// hits and landmark answers never consume a slot.
+    pub max_inflight: usize,
+    /// What an over-capacity request does: `true` queues (blocks until a
+    /// slot frees — backpressure), `false` rejects immediately with
+    /// [`SsspError::Overloaded`] (load shedding).
+    pub queue: bool,
+}
+
+/// Fluent configuration for [`CachedOracle::with_config`].
+///
+/// ```
+/// use sssp::{CacheConfig, FillPolicy, LandmarkConfig};
+///
+/// let cfg = CacheConfig::new(8)
+///     .policy(FillPolicy::LandmarkOnly)
+///     .landmarks(LandmarkConfig::new(16, 1.0))
+///     .admission(4, false); // reject beyond 4 in-flight explorations
+/// assert_eq!(cfg.capacity(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    capacity: usize,
+    policy: FillPolicy,
+    landmarks: Option<LandmarkSpec>,
+    admission: Option<AdmissionConfig>,
+}
+
+/// Either build a plane at attach time or reuse one already built (the
+/// open-loop harness shares one plane across many cache instances).
+#[derive(Clone, Debug)]
+enum LandmarkSpec {
+    Build(LandmarkConfig),
+    Prebuilt(Arc<LandmarkPlane>),
+}
+
+impl CacheConfig {
+    /// A config with `capacity` row slots and every other knob at its
+    /// default: [`FillPolicy::NeverFill`], no landmarks, no admission
+    /// gate — exactly [`CachedOracle::new`].
+    pub fn new(capacity: usize) -> Self {
+        CacheConfig {
+            capacity,
+            policy: FillPolicy::default(),
+            landmarks: None,
+            admission: None,
+        }
+    }
+
+    /// Set the point-to-point miss policy.
+    pub fn policy(mut self, policy: FillPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Build a landmark plane at attach time (one row exploration per
+    /// landmark, plus the seed row).
+    pub fn landmarks(mut self, cfg: LandmarkConfig) -> Self {
+        self.landmarks = Some(LandmarkSpec::Build(cfg));
+        self
+    }
+
+    /// Reuse an already-built landmark plane (must match the backend's
+    /// vertex count; validated at attach).
+    pub fn landmark_plane(mut self, plane: Arc<LandmarkPlane>) -> Self {
+        self.landmarks = Some(LandmarkSpec::Prebuilt(plane));
+        self
+    }
+
+    /// Bound in-flight backend explorations to `max_inflight`; overflow
+    /// queues (`queue = true`) or rejects with [`SsspError::Overloaded`].
+    pub fn admission(mut self, max_inflight: usize, queue: bool) -> Self {
+        self.admission = Some(AdmissionConfig {
+            max_inflight,
+            queue,
+        });
+        self
+    }
+
+    /// The configured row-slot bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 /// A point-in-time snapshot of the cache counters
-/// ([`CachedOracle::stats`]).
+/// ([`CachedOracle::stats`]). Every counter is a pure function of the
+/// serialized request sequence and the configuration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered from a cached row.
     pub hits: u64,
-    /// Requests that had to consult the wrapped backend.
+    /// Requests that had to go past the row table (row misses fill;
+    /// p2p misses proceed per the fill policy).
     pub misses: u64,
     /// Rows evicted to make room (strict LRU order).
     pub evictions: u64,
+    /// p2p misses answered by the landmark plane (`O(L)`, `(1+δ)`
+    /// stretch, no exploration).
+    pub landmark_answers: u64,
+    /// p2p misses that fell through to a backend exploration (including
+    /// the ones that promoted a row).
+    pub fallbacks: u64,
+    /// Requests rejected by the admission gate ([`SsspError::Overloaded`]).
+    pub rejections: u64,
+    /// Full rows computed and cached by
+    /// [`FillPolicy::PromoteAfterMisses`].
+    pub promotions: u64,
     /// Rows currently resident.
     pub len: usize,
     /// The configured bound.
@@ -79,16 +223,66 @@ pub struct CacheStats {
 
 /// Everything the mutex guards: the LRU table (most recently used at the
 /// back; the table is deliberately tiny, so linear scans beat any pointer
-/// structure) plus the counters.
+/// structure) plus the counters and the promotion tracker.
 #[derive(Debug)]
 struct CacheState {
     entries: Vec<(VId, Arc<CachedRow>)>,
     hits: u64,
     misses: u64,
     evictions: u64,
+    landmark_answers: u64,
+    fallbacks: u64,
+    rejections: u64,
+    promotions: u64,
+    /// Per-source fallback counts for [`FillPolicy::PromoteAfterMisses`],
+    /// FIFO-bounded at [`CachedOracle::tracker_cap`] (forgetting a source
+    /// under pressure only delays its promotion — still a pure function
+    /// of the request sequence).
+    miss_counts: Vec<(VId, u32)>,
 }
 
-/// A bounded, deterministic LRU source cache over any [`DistanceOracle`].
+/// The admission gate: a counting semaphore over backend explorations.
+/// No clocks, no fairness heuristics — admission is a pure function of
+/// the number of explorations currently in flight.
+#[derive(Debug)]
+struct Gate {
+    cfg: AdmissionConfig,
+    inflight: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// RAII slot: dropping releases the exploration slot and wakes one
+/// queued waiter.
+struct GatePermit<'a>(&'a Gate);
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut n = self.0.inflight.lock().unwrap();
+        *n -= 1;
+        self.0.freed.notify_one();
+    }
+}
+
+impl Gate {
+    /// Acquire a slot: queue (block) or reject per config. `Err` carries
+    /// the observed in-flight count.
+    fn admit(&self) -> Result<GatePermit<'_>, usize> {
+        let mut n = self.inflight.lock().unwrap();
+        if *n >= self.cfg.max_inflight {
+            if !self.cfg.queue {
+                return Err(*n);
+            }
+            while *n >= self.cfg.max_inflight {
+                n = self.freed.wait(n).unwrap();
+            }
+        }
+        *n += 1;
+        Ok(GatePermit(self))
+    }
+}
+
+/// A bounded, deterministic LRU source cache over any [`DistanceOracle`],
+/// with optional landmark answers and admission control (module docs).
 ///
 /// `CachedOracle` is `Send + Sync` whenever the wrapped backend is: rows
 /// are `Arc`-swapped (readers keep their `Arc` across evictions; the lock
@@ -99,25 +293,83 @@ struct CacheState {
 pub struct CachedOracle<O> {
     inner: O,
     capacity: usize,
+    policy: FillPolicy,
+    plane: Option<Arc<LandmarkPlane>>,
+    gate: Option<Gate>,
     state: Mutex<CacheState>,
 }
 
 impl<O: DistanceOracle> CachedOracle<O> {
-    /// Wrap `inner` with a cache holding at most `capacity ≥ 1` rows.
+    /// Wrap `inner` with a cache holding at most `capacity ≥ 1` rows and
+    /// every serving knob at its PR 6 default (no landmarks, no admission
+    /// gate, [`FillPolicy::NeverFill`]).
     pub fn new(inner: O, capacity: usize) -> Result<Self, SsspError> {
-        if capacity == 0 {
+        Self::with_config(inner, CacheConfig::new(capacity))
+    }
+
+    /// Wrap `inner` per `cfg`: validate the combination, build (or adopt)
+    /// the landmark plane, and install the admission gate.
+    pub fn with_config(inner: O, cfg: CacheConfig) -> Result<Self, SsspError> {
+        if cfg.capacity == 0 {
             return Err(SsspError::Config(
                 "source cache capacity must be at least 1 row".into(),
             ));
         }
+        if let Some(a) = &cfg.admission {
+            if a.max_inflight == 0 {
+                return Err(SsspError::Config(
+                    "admission gate capacity must be at least 1 in-flight exploration".into(),
+                ));
+            }
+        }
+        let plane = match cfg.landmarks {
+            None => {
+                if matches!(cfg.policy, FillPolicy::LandmarkOnly) {
+                    return Err(SsspError::Config(
+                        "FillPolicy::LandmarkOnly requires a landmark plane \
+                         (CacheConfig::landmarks or ::landmark_plane)"
+                            .into(),
+                    ));
+                }
+                None
+            }
+            Some(LandmarkSpec::Build(lcfg)) => Some(Arc::new(LandmarkPlane::build(&inner, &lcfg)?)),
+            Some(LandmarkSpec::Prebuilt(p)) => {
+                if p.num_vertices() != inner.num_vertices() {
+                    return Err(SsspError::Config(format!(
+                        "landmark plane covers {} vertices but the backend has {}",
+                        p.num_vertices(),
+                        inner.num_vertices()
+                    )));
+                }
+                Some(p)
+            }
+        };
+        if let FillPolicy::PromoteAfterMisses(0) = cfg.policy {
+            return Err(SsspError::Config(
+                "PromoteAfterMisses threshold must be at least 1".into(),
+            ));
+        }
         Ok(CachedOracle {
             inner,
-            capacity,
+            capacity: cfg.capacity,
+            policy: cfg.policy,
+            plane,
+            gate: cfg.admission.map(|a| Gate {
+                cfg: a,
+                inflight: Mutex::new(0),
+                freed: Condvar::new(),
+            }),
             state: Mutex::new(CacheState {
-                entries: Vec::with_capacity(capacity),
+                entries: Vec::with_capacity(cfg.capacity),
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                landmark_answers: 0,
+                fallbacks: 0,
+                rejections: 0,
+                promotions: 0,
+                miss_counts: Vec::new(),
             }),
         })
     }
@@ -132,13 +384,39 @@ impl<O: DistanceOracle> CachedOracle<O> {
         self.capacity
     }
 
-    /// Snapshot the hit/miss/eviction counters and occupancy.
+    /// The point-to-point miss policy in effect.
+    pub fn policy(&self) -> FillPolicy {
+        self.policy
+    }
+
+    /// The landmark plane, if one is attached.
+    pub fn landmark_plane(&self) -> Option<&Arc<LandmarkPlane>> {
+        self.plane.as_ref()
+    }
+
+    /// The admission gate's configuration, if one is installed.
+    pub fn admission(&self) -> Option<AdmissionConfig> {
+        self.gate.as_ref().map(|g| g.cfg)
+    }
+
+    /// Promotion-tracker bound: forgetting the coldest tracked source
+    /// under pressure keeps the tracker `O(capacity)` without breaking
+    /// determinism (FIFO, request-sequence-driven).
+    fn tracker_cap(&self) -> usize {
+        (8 * self.capacity).max(64)
+    }
+
+    /// Snapshot the counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         let s = self.state.lock().unwrap();
         CacheStats {
             hits: s.hits,
             misses: s.misses,
             evictions: s.evictions,
+            landmark_answers: s.landmark_answers,
+            fallbacks: s.fallbacks,
+            rejections: s.rejections,
+            promotions: s.promotions,
             len: s.entries.len(),
             capacity: self.capacity,
         }
@@ -151,15 +429,35 @@ impl<O: DistanceOracle> CachedOracle<O> {
     }
 
     /// The serving entry point: the row for `source`, shared, plus whether
-    /// it was a cache hit. Misses compute **outside** the lock (concurrent
-    /// requests for other sources proceed) and then fill the cache,
-    /// evicting the least recently used row if the table is full.
+    /// it was a cache hit. Misses pass the admission gate (if configured),
+    /// compute **outside** the lock (concurrent requests for other sources
+    /// proceed) and then fill the cache, evicting the least recently used
+    /// row if the table is full.
     pub fn row(&self, source: VId) -> Result<(Arc<CachedRow>, bool), SsspError> {
         if let Some(row) = self.lookup(source) {
             return Ok((row, true));
         }
+        let _permit = self.admit()?;
         let (dist, ledger) = self.inner.distances_from_with_ledger(source)?;
         Ok((self.insert(source, CachedRow { dist, ledger }), false))
+    }
+
+    /// Acquire an exploration slot from the gate (no-op without one);
+    /// count and type the rejection otherwise.
+    fn admit(&self) -> Result<Option<GatePermit<'_>>, SsspError> {
+        match &self.gate {
+            None => Ok(None),
+            Some(g) => match g.admit() {
+                Ok(p) => Ok(Some(p)),
+                Err(observed) => {
+                    self.state.lock().unwrap().rejections += 1;
+                    Err(SsspError::Overloaded {
+                        in_flight: observed,
+                        capacity: g.cfg.max_inflight,
+                    })
+                }
+            },
+        }
     }
 
     /// Hit path: scan, refresh recency, count. `None` counts a miss.
@@ -198,6 +496,29 @@ impl<O: DistanceOracle> CachedOracle<O> {
         s.entries.push((source, Arc::clone(&row)));
         row
     }
+
+    /// Bump `source`'s fallback count under [`FillPolicy::PromoteAfterMisses`]
+    /// and report whether this fallback should promote the full row.
+    fn note_fallback_for_promotion(&self, source: VId, threshold: u32) -> bool {
+        let mut s = self.state.lock().unwrap();
+        if let Some(i) = s.miss_counts.iter().position(|(v, _)| *v == source) {
+            s.miss_counts[i].1 += 1;
+            if s.miss_counts[i].1 >= threshold {
+                s.miss_counts.remove(i);
+                return true;
+            }
+            return false;
+        }
+        if threshold == 1 {
+            return true; // first fallback already qualifies; nothing to track
+        }
+        let cap = self.tracker_cap();
+        if s.miss_counts.len() == cap {
+            s.miss_counts.remove(0); // FIFO: forget the oldest tracked source
+        }
+        s.miss_counts.push((source, 1));
+        false
+    }
 }
 
 impl<O: DistanceOracle> DistanceOracle for CachedOracle<O> {
@@ -209,8 +530,17 @@ impl<O: DistanceOracle> DistanceOracle for CachedOracle<O> {
         self.inner.num_vertices()
     }
 
+    /// The worst answer any query can receive: the backend's stretch, or
+    /// the landmark plane's `1+δ` when a policy lets the plane answer —
+    /// whichever is larger.
     fn stretch_bound(&self) -> f64 {
-        self.inner.stretch_bound()
+        let inner = self.inner.stretch_bound();
+        match &self.plane {
+            Some(p) if !matches!(self.policy, FillPolicy::NeverFill) => {
+                inner.max(p.stretch_bound())
+            }
+            _ => inner,
+        }
     }
 
     fn cost(&self) -> &Ledger {
@@ -223,8 +553,9 @@ impl<O: DistanceOracle> DistanceOracle for CachedOracle<O> {
     }
 
     /// Mixed hit/miss batches go row by row through the cache (hits are
-    /// free, misses fill), merged in source order like every other
-    /// backend.
+    /// free, misses fill — and pass the admission gate, so an overloaded
+    /// server rejects the batch at its first cold row), merged in source
+    /// order like every other backend.
     fn distances_multi(&self, sources: &[VId]) -> Result<MultiSourceResult, SsspError> {
         let n = self.num_vertices();
         let mut dist = crate::DistanceMatrix::with_capacity(sources.len(), n);
@@ -248,16 +579,42 @@ impl<O: DistanceOracle> DistanceOracle for CachedOracle<O> {
         self.inner.distances_to_nearest(sources)
     }
 
-    /// Point-to-point: a resident row for `u` answers immediately (and
-    /// refreshes its recency); otherwise delegate to the backend's
-    /// early-exit `distance` **without** filling the cache — a p2p miss
-    /// never pays for (or evicts in favor of) a full row it did not
-    /// compute. Both paths are bit-identical to `distances_from(u)[v]` by
-    /// the serving contract.
+    /// Point-to-point, in increasing cost order:
+    ///
+    /// 1. a resident row for `u` answers immediately (hit, refreshes
+    ///    recency) — bit-identical to the backend;
+    /// 2. on a miss, a configured landmark plane (policy ≠
+    ///    [`FillPolicy::NeverFill`]) answers certified pairs in `O(L)`
+    ///    with documented `(1+δ)` stretch — no exploration, no gate;
+    /// 3. otherwise the request passes the admission gate and falls back
+    ///    to the backend's early-exit exploration (bit-identical to the
+    ///    full row); under [`FillPolicy::PromoteAfterMisses`], the `k`-th
+    ///    fallback for a source computes and caches its full row instead.
     fn distance(&self, u: VId, v: VId) -> Result<Weight, SsspError> {
-        check_source(self.num_vertices(), v)?;
+        let n = self.num_vertices();
+        check_source(n, v)?;
         if let Some(row) = self.lookup(u) {
+            check_source(n, u)?; // resident rows imply validity; keep the contract anyway
             return Ok(row.dist[v as usize]);
+        }
+        check_source(n, u)?;
+        if !matches!(self.policy, FillPolicy::NeverFill) {
+            if let Some(plane) = &self.plane {
+                if let Some(d) = plane.certify(u, v) {
+                    self.state.lock().unwrap().landmark_answers += 1;
+                    return Ok(d);
+                }
+            }
+        }
+        let _permit = self.admit()?;
+        self.state.lock().unwrap().fallbacks += 1;
+        if let FillPolicy::PromoteAfterMisses(k) = self.policy {
+            if self.note_fallback_for_promotion(u, k) {
+                let (dist, ledger) = self.inner.distances_from_with_ledger(u)?;
+                let row = self.insert(u, CachedRow { dist, ledger });
+                self.state.lock().unwrap().promotions += 1;
+                return Ok(row.dist[v as usize]);
+            }
         }
         self.inner.distance(u, v)
     }
@@ -281,6 +638,40 @@ mod tests {
         let oracle = Oracle::builder(g).build().unwrap();
         assert!(matches!(
             CachedOracle::new(oracle, 0),
+            Err(SsspError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn config_conflicts_are_typed() {
+        let g = gen::path(8);
+        let mk = || Oracle::builder(gen::path(8)).build().unwrap();
+        // LandmarkOnly without a plane.
+        assert!(matches!(
+            CachedOracle::with_config(mk(), CacheConfig::new(2).policy(FillPolicy::LandmarkOnly)),
+            Err(SsspError::Config(_))
+        ));
+        // Admission capacity 0.
+        assert!(matches!(
+            CachedOracle::with_config(mk(), CacheConfig::new(2).admission(0, false)),
+            Err(SsspError::Config(_))
+        ));
+        // Promotion threshold 0.
+        assert!(matches!(
+            CachedOracle::with_config(
+                mk(),
+                CacheConfig::new(2).policy(FillPolicy::PromoteAfterMisses(0))
+            ),
+            Err(SsspError::Config(_))
+        ));
+        // Prebuilt plane over the wrong graph.
+        let small = Oracle::builder(g).build().unwrap();
+        let plane = Arc::new(
+            crate::LandmarkPlane::build(&small, &crate::LandmarkConfig::new(2, 1.0)).unwrap(),
+        );
+        let big = Oracle::builder(gen::path(16)).build().unwrap();
+        assert!(matches!(
+            CachedOracle::with_config(big, CacheConfig::new(2).landmark_plane(plane)),
             Err(SsspError::Config(_))
         ));
     }
@@ -318,16 +709,161 @@ mod tests {
     fn p2p_hits_read_the_row_and_misses_do_not_fill() {
         let c = served();
         let reference = c.inner().distances_from(3).unwrap();
-        // Miss path: no row resident, delegates, does not fill.
+        // Miss path (default NeverFill): no row resident, delegates, does
+        // not fill, counts a fallback.
         let d = c.distance(3, 40).unwrap();
         assert_eq!(d.to_bits(), reference[40].to_bits());
         assert_eq!(c.stats().len, 0);
+        assert_eq!(c.stats().fallbacks, 1);
+        assert_eq!(c.stats().landmark_answers, 0);
         // Fill, then the p2p answer comes from the row (hit counted).
         c.row(3).unwrap();
         let hits_before = c.stats().hits;
         let d2 = c.distance(3, 40).unwrap();
         assert_eq!(d2.to_bits(), reference[40].to_bits());
         assert_eq!(c.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn promote_after_k_misses_fills_on_the_kth_fallback() {
+        let g = gen::gnm_connected(100, 300, 7, 1.0, 8.0);
+        let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+        let reference = oracle.distances_from(9).unwrap();
+        let c = CachedOracle::with_config(
+            oracle,
+            CacheConfig::new(2).policy(FillPolicy::PromoteAfterMisses(3)),
+        )
+        .unwrap();
+        for (i, v) in [10u32, 20, 30].iter().enumerate() {
+            let d = c.distance(9, *v).unwrap();
+            assert_eq!(d.to_bits(), reference[*v as usize].to_bits());
+            let st = c.stats();
+            assert_eq!(st.fallbacks as usize, i + 1);
+            // The 3rd fallback promotes; before that nothing is resident.
+            assert_eq!(st.len, usize::from(i == 2), "after fallback {}", i + 1);
+        }
+        let st = c.stats();
+        assert_eq!(st.promotions, 1);
+        // Subsequent p2p queries on the promoted source are hits.
+        let before = st.hits;
+        let d = c.distance(9, 55).unwrap();
+        assert_eq!(d.to_bits(), reference[55].to_bits());
+        assert_eq!(c.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn promotion_tracker_is_bounded() {
+        let g = gen::gnm_connected(100, 300, 7, 1.0, 8.0);
+        let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+        let c = CachedOracle::with_config(
+            oracle,
+            CacheConfig::new(1).policy(FillPolicy::PromoteAfterMisses(100)),
+        )
+        .unwrap();
+        // More distinct cold sources than the tracker holds.
+        for s in 0..100u32 {
+            let _ = c.distance(s, 0).unwrap();
+        }
+        let tracked = c.state.lock().unwrap().miss_counts.len();
+        assert!(tracked <= c.tracker_cap());
+        assert_eq!(c.stats().promotions, 0);
+    }
+
+    #[test]
+    fn reject_policy_returns_overloaded_under_concurrent_misses() {
+        use std::sync::mpsc;
+
+        /// A backend whose row computation blocks until released — lets
+        /// the test hold an exploration slot deterministically.
+        struct Blocking {
+            n: usize,
+            gate: Mutex<bool>,
+            cv: Condvar,
+            entered: mpsc::Sender<()>,
+        }
+        impl DistanceOracle for Blocking {
+            fn name(&self) -> &'static str {
+                "blocking"
+            }
+            fn num_vertices(&self) -> usize {
+                self.n
+            }
+            fn stretch_bound(&self) -> f64 {
+                1.0
+            }
+            fn cost(&self) -> &Ledger {
+                Box::leak(Box::new(Ledger::new()))
+            }
+            fn distances_from_with_ledger(
+                &self,
+                _source: VId,
+            ) -> Result<(Vec<Weight>, Ledger), SsspError> {
+                self.entered.send(()).unwrap();
+                let mut open = self.gate.lock().unwrap();
+                while !*open {
+                    open = self.cv.wait(open).unwrap();
+                }
+                Ok((vec![0.0; self.n], Ledger::new()))
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let backend = Blocking {
+            n: 8,
+            gate: Mutex::new(false),
+            cv: Condvar::new(),
+            entered: tx,
+        };
+        let c = Arc::new(
+            CachedOracle::with_config(backend, CacheConfig::new(4).admission(1, false)).unwrap(),
+        );
+        // Thread 1 occupies the single exploration slot...
+        let c1 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c1.row(0).map(|r| r.1));
+        rx.recv().unwrap(); // ...and is provably inside the backend now.
+                            // A second miss must be rejected, typed and counted.
+        match c.row(1) {
+            Err(SsspError::Overloaded {
+                in_flight,
+                capacity,
+            }) => {
+                assert_eq!((in_flight, capacity), (1, 1));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(c.stats().rejections, 1);
+        // Release the blocked exploration; the first request completes.
+        {
+            let backend = c.inner();
+            *backend.gate.lock().unwrap() = true;
+            backend.cv.notify_all();
+        }
+        assert_eq!(t.join().unwrap().unwrap(), false);
+        // The slot is free again: the once-rejected request now succeeds.
+        assert!(c.row(1).is_ok());
+    }
+
+    #[test]
+    fn queue_policy_blocks_instead_of_rejecting() {
+        let g = gen::gnm_connected(60, 180, 3, 1.0, 8.0);
+        let oracle = Oracle::builder(g).eps(0.25).kappa(4).build().unwrap();
+        let c = Arc::new(
+            CachedOracle::with_config(oracle, CacheConfig::new(8).admission(1, true)).unwrap(),
+        );
+        // Many concurrent misses through a 1-slot queueing gate: all
+        // succeed (backpressure, not shedding), none are rejected.
+        let handles: Vec<_> = (0..6u32)
+            .map(|s| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.row(s).is_ok())
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        let st = c.stats();
+        assert_eq!(st.rejections, 0);
+        assert_eq!(st.misses, 6);
     }
 
     #[test]

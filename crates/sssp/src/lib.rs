@@ -33,14 +33,16 @@ pub mod baseline;
 pub mod cache;
 pub mod delta_stepping;
 pub mod eval;
+pub mod landmark;
 pub mod oracle;
 pub mod snapshot;
 pub mod spt;
 
 pub use assd::ApproxShortestPaths;
-pub use cache::{CacheStats, CachedOracle, CachedRow};
+pub use cache::{AdmissionConfig, CacheConfig, CacheStats, CachedOracle, CachedRow, FillPolicy};
 pub use delta_stepping::{delta_stepping, DeltaSteppingResult};
 pub use eval::{stretch_vs_hops, HopCurvePoint};
+pub use landmark::{LandmarkBounds, LandmarkConfig, LandmarkPlane};
 pub use oracle::{
     DeltaSteppingOracle, DijkstraOracle, DistanceMatrix, DistanceOracle, MultiSourceResult, Oracle,
     OracleBuilder, Pipeline, SsspError,

@@ -79,6 +79,17 @@ pub enum SsspError {
     PathsNotRecorded,
     /// Builder options conflict (the message names the conflict).
     Config(String),
+    /// The serving layer's admission gate rejected the request: the
+    /// number of in-flight backend explorations already met the
+    /// configured capacity and the gate's policy is reject-not-queue.
+    /// Retryable by construction — the observed load is part of the
+    /// error so callers can shed or back off deliberately.
+    Overloaded {
+        /// Explorations in flight when the request arrived.
+        in_flight: usize,
+        /// The configured in-flight bound.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for SsspError {
@@ -96,6 +107,14 @@ impl std::fmt::Display for SsspError {
                 "SPT extraction requires an oracle built with .paths(true)"
             ),
             SsspError::Config(msg) => write!(f, "conflicting oracle configuration: {msg}"),
+            SsspError::Overloaded {
+                in_flight,
+                capacity,
+            } => write!(
+                f,
+                "admission gate rejected the request: {in_flight} explorations \
+                 in flight at capacity {capacity}"
+            ),
         }
     }
 }

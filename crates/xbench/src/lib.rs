@@ -143,8 +143,13 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ),
         (
             "serve",
-            "serving: early-exit p2p, batched aMSSD, LRU source cache under load",
+            "serving: landmark-certified p2p, batched aMSSD, LRU source cache under load",
             exp_serve::serve,
+        ),
+        (
+            "serve-open",
+            "serving: open-loop arrival sweep, admission gate bounding p99 (DESIGN.md §9)",
+            exp_serve::serve_open,
         ),
         (
             "snapshot",
@@ -175,7 +180,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), reg.len());
-        assert_eq!(reg.len(), 23);
+        assert_eq!(reg.len(), 24);
     }
 
     #[test]

@@ -86,9 +86,10 @@ pub mod prelude {
     pub use pgraph::{exact, gen, Graph, GraphBuilder, UnionGraph, UnionView, INF};
     pub use pram::{Executor, Ledger};
     pub use sssp::{
-        delta_stepping, CacheStats, CachedOracle, CachedRow, DeltaSteppingOracle, DijkstraOracle,
-        DistanceMatrix, DistanceOracle, MultiSourceResult, Oracle, OracleBuilder, Pipeline,
-        SnapshotError, SsspError,
+        delta_stepping, AdmissionConfig, CacheConfig, CacheStats, CachedOracle, CachedRow,
+        DeltaSteppingOracle, DijkstraOracle, DistanceMatrix, DistanceOracle, FillPolicy,
+        LandmarkBounds, LandmarkConfig, LandmarkPlane, MultiSourceResult, Oracle, OracleBuilder,
+        Pipeline, SnapshotError, SsspError,
     };
     #[allow(deprecated)]
     pub use sssp::{ApproxShortestPaths, ApproxSptEngine};

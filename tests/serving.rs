@@ -243,10 +243,70 @@ fn cache_eviction_trace_is_deterministic() {
         assert_eq!(st.misses, 6);
         assert_eq!(st.evictions, 4);
         assert_eq!(st.len, 2);
+        // Row-only traffic under the default policy touches none of the
+        // PR 10 serving counters.
+        assert_eq!(st.landmark_answers, 0);
+        assert_eq!(st.fallbacks, 0);
+        assert_eq!(st.rejections, 0);
+        assert_eq!(st.promotions, 0);
         traces.push(trace);
     }
     assert_eq!(traces[0], expected);
     assert_eq!(traces[0], traces[1], "same sequence, same trace");
+}
+
+/// (4b) The extended counter set (landmark answers, fallbacks,
+/// promotions) is part of the same contract: a fixed mixed row/p2p
+/// request sequence over a landmark-backed, promotion-enabled cache
+/// produces the identical `CacheStats` on every fresh run.
+#[test]
+fn extended_counter_trace_is_deterministic() {
+    let g = gen::road_grid(9, 9, 4, 1.0, 6.0);
+    let n = 81u32;
+    // Mixed sequence: hot rows, repeated cold p2p on one source (crosses
+    // the promotion threshold), and scattered cold p2p (landmark or
+    // fallback — decided purely by the plane's bounds).
+    let rows = [0u32, 40, 0];
+    let pairs = [
+        (7u32, 60u32),
+        (7, 61),
+        (7, 62),
+        (13, 70),
+        (25, 33),
+        (0, 80),
+        (44, 44),
+    ];
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let served = CachedOracle::with_config(
+            build(&g, Pipeline::Plain),
+            CacheConfig::new(2)
+                .policy(FillPolicy::PromoteAfterMisses(2))
+                .landmarks(LandmarkConfig::new(6, 1.0)),
+        )
+        .expect("config");
+        for &s in &rows {
+            let _ = served.row(s).expect("in range");
+        }
+        for &(u, v) in &pairs {
+            assert!(u < n && v < n);
+            let _ = served.distance(u, v).expect("in range");
+        }
+        runs.push(served.stats());
+    }
+    assert_eq!(runs[0], runs[1], "same sequence, same extended counters");
+    let st = runs[0];
+    // The sequence exercises every counter class it is meant to pin.
+    assert_eq!(st.hits + st.misses, (rows.len() + pairs.len()) as u64);
+    // Every miss is either a row fill (the [0, 40, 0] prefix misses
+    // exactly twice) or a p2p request resolved by the plane or a
+    // fallback exploration — nothing is dropped from the accounting.
+    assert_eq!(st.misses, 2 + st.landmark_answers + st.fallbacks);
+    assert!(
+        st.landmark_answers > 0,
+        "plane answered the trivial pair at least"
+    );
+    assert!(st.fallbacks > 0, "some pair fell through to exploration");
 }
 
 /// The serving wrapper crosses threads and erases like every other
